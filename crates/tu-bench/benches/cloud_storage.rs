@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the simulated cloud tiers (real file I/O path,
+//! latency model disabled so the code path itself is measured).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tu_cloud::cost::LatencyMode;
+use tu_cloud::StorageEnv;
+
+fn bench_block_store(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let env = StorageEnv::open(dir.path(), LatencyMode::Off).unwrap();
+    let data = vec![7u8; 64 << 10];
+    env.block.write_file("warm", &data).unwrap();
+    let mut g = c.benchmark_group("block_store");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    let mut i = 0u64;
+    g.bench_function("write_64k", |b| {
+        b.iter(|| {
+            i += 1;
+            env.block
+                .write_file(&format!("w-{}", i % 8), std::hint::black_box(&data))
+                .unwrap();
+        })
+    });
+    g.bench_function("read_64k", |b| {
+        b.iter(|| env.block.read_file(std::hint::black_box("warm")).unwrap())
+    });
+    g.bench_function("read_range_4k", |b| {
+        b.iter(|| env.block.read_range("warm", 4096, 4096).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let env = StorageEnv::open(dir.path(), LatencyMode::Off).unwrap();
+    let data = vec![3u8; 256 << 10];
+    env.object.put("warm", &data).unwrap();
+    let mut g = c.benchmark_group("object_store");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    let mut i = 0u64;
+    g.bench_function("put_256k", |b| {
+        b.iter(|| {
+            i += 1;
+            env.object
+                .put(&format!("p-{}", i % 8), std::hint::black_box(&data))
+                .unwrap();
+        })
+    });
+    g.bench_function("get_256k", |b| {
+        b.iter(|| env.object.get(std::hint::black_box("warm")).unwrap())
+    });
+    g.bench_function("get_range_4k", |b| {
+        b.iter(|| env.object.get_range("warm", 8192, 4096).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_store, bench_object_store);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks for the chunk codecs: Gorilla, the NULL-extended XOR
+//! group format, and Snappy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tu_common::Sample;
+use tu_compress::nullxor::{GroupChunkDecoder, GroupChunkEncoder};
+use tu_compress::{gorilla, snappy};
+
+fn samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|i| Sample::new(i as i64 * 30_000 + (i % 7) as i64, 40.0 + (i % 13) as f64 * 0.5))
+        .collect()
+}
+
+fn bench_gorilla(c: &mut Criterion) {
+    let data = samples(120);
+    let encoded = gorilla::compress_chunk(&data).unwrap();
+    let mut g = c.benchmark_group("gorilla");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("compress_120", |b| {
+        b.iter(|| gorilla::compress_chunk(std::hint::black_box(&data)).unwrap())
+    });
+    g.bench_function("decompress_120", |b| {
+        b.iter(|| gorilla::decompress_chunk(std::hint::black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_group_chunk(c: &mut Criterion) {
+    let cols = 101usize;
+    let rows = 32usize;
+    let build = || {
+        let mut enc = GroupChunkEncoder::new(cols);
+        for r in 0..rows {
+            let values: Vec<Option<f64>> = (0..cols)
+                .map(|m| (m % 10 != 0).then(|| m as f64 + r as f64 * 0.1))
+                .collect();
+            enc.append_row(r as i64 * 30_000, &values).unwrap();
+        }
+        enc.finish()
+    };
+    let encoded = build();
+    let mut g = c.benchmark_group("group_chunk");
+    g.throughput(Throughput::Elements((cols * rows) as u64));
+    g.bench_function("encode_101x32", |b| b.iter(build));
+    g.bench_function("decode_all_101x32", |b| {
+        b.iter(|| {
+            GroupChunkDecoder::new(std::hint::black_box(&encoded))
+                .unwrap()
+                .decode_all()
+                .unwrap()
+        })
+    });
+    g.bench_function("decode_one_column", |b| {
+        b.iter(|| {
+            let d = GroupChunkDecoder::new(std::hint::black_box(&encoded)).unwrap();
+            (d.decode_timestamps().unwrap(), d.decode_column(50).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_snappy(c: &mut Criterion) {
+    let block: Vec<u8> = (0..4096u32)
+        .flat_map(|i| ((i / 16) as u16).to_le_bytes())
+        .collect();
+    let compressed = snappy::compress(&block);
+    let mut g = c.benchmark_group("snappy");
+    g.throughput(Throughput::Bytes(block.len() as u64));
+    g.bench_function("compress_4k_block", |b| {
+        b.iter(|| snappy::compress(std::hint::black_box(&block)))
+    });
+    g.bench_function("decompress_4k_block", |b| {
+        b.iter_batched(
+            || compressed.clone(),
+            |c| snappy::decompress(&c).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gorilla, bench_group_chunk, bench_snappy);
+criterion_main!(benches);

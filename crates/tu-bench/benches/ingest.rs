@@ -1,0 +1,88 @@
+//! Ingestion path benchmarks: slow path, fast path, and grouped inserts
+//! into the TimeUnion engine (latency modelling off — pure CPU path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tu_bench::BenchConfig;
+use tu_cloud::cost::LatencyMode;
+use tu_common::Labels;
+use tu_core::engine::TimeUnion;
+
+fn engine(dir: &std::path::Path, name: &str) -> TimeUnion {
+    let mut opts = BenchConfig::default().tu_options();
+    opts.latency = LatencyMode::Off;
+    TimeUnion::open(dir.join(name), opts).unwrap()
+}
+
+fn bench_series_ingest(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut g = c.benchmark_group("ingest");
+    g.throughput(Throughput::Elements(1));
+
+    let db = engine(dir.path(), "slow");
+    let labels: Vec<Labels> = (0..512)
+        .map(|i| {
+            Labels::from_pairs([
+                ("metric", format!("m{}", i % 101)),
+                ("hostname", format!("host_{}", i / 101)),
+            ])
+        })
+        .collect();
+    let mut t = 0i64;
+    let mut i = 0usize;
+    g.bench_function("slow_path_put", |b| {
+        b.iter(|| {
+            i = (i + 1) % labels.len();
+            if i == 0 {
+                t += 1000;
+            }
+            db.put(std::hint::black_box(&labels[i]), t, 1.0).unwrap()
+        })
+    });
+
+    let db = engine(dir.path(), "fast");
+    let ids: Vec<u64> = labels.iter().map(|l| db.put(l, 0, 0.0).unwrap()).collect();
+    let mut t = 0i64;
+    let mut i = 0usize;
+    g.bench_function("fast_path_put_by_id", |b| {
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            if i == 0 {
+                t += 1000;
+            }
+            db.put_by_id(std::hint::black_box(ids[i]), t, 1.0).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_group_ingest(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let db = engine(dir.path(), "group");
+    let member_tags: Vec<Labels> = (0..101)
+        .map(|i| Labels::from_pairs([("metric", format!("m{i}"))]))
+        .collect();
+    let (gid, refs) = db
+        .put_group(
+            &Labels::from_pairs([("hostname", "host_0")]),
+            &member_tags,
+            0,
+            &vec![0.0; 101],
+        )
+        .unwrap();
+    let values = vec![1.5f64; 101];
+    let mut t = 0i64;
+    let mut g = c.benchmark_group("ingest");
+    // One row carries 101 samples.
+    g.throughput(Throughput::Elements(101));
+    g.bench_function("group_row_put_fast", |b| {
+        b.iter(|| {
+            t += 1000;
+            db.put_group_fast(gid, std::hint::black_box(&refs), t, &values)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_series_ingest, bench_group_ingest);
+criterion_main!(benches);

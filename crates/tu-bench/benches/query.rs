@@ -1,0 +1,72 @@
+//! Query path benchmarks against a pre-loaded TimeUnion instance:
+//! selector resolution plus chunk merging for recent and long ranges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tu_bench::BenchConfig;
+use tu_cloud::cost::LatencyMode;
+use tu_common::Labels;
+use tu_core::engine::TimeUnion;
+use tu_index::Selector;
+
+fn loaded_engine(dir: &std::path::Path) -> TimeUnion {
+    let mut opts = BenchConfig::default().tu_options();
+    opts.latency = LatencyMode::Off;
+    let db = TimeUnion::open(dir.join("db"), opts).unwrap();
+    // 404 series, 4 hours at 60 s.
+    let mut ids = Vec::new();
+    for host in 0..4 {
+        for metric in 0..101 {
+            ids.push(
+                db.put(
+                    &Labels::from_pairs([
+                        ("metric", format!("m{metric}")),
+                        ("hostname", format!("host_{host}")),
+                    ]),
+                    0,
+                    0.0,
+                )
+                .unwrap(),
+            );
+        }
+    }
+    for step in 1..240i64 {
+        for id in &ids {
+            db.put_by_id(*id, step * 60_000, step as f64).unwrap();
+        }
+    }
+    db.flush_all().unwrap();
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let db = loaded_engine(dir.path());
+    let end = 240 * 60_000;
+    let mut g = c.benchmark_group("query");
+    g.bench_function("recent_one_series", |b| {
+        let sel = [
+            Selector::exact("hostname", "host_1"),
+            Selector::exact("metric", "m5"),
+        ];
+        b.iter(|| db.query(&sel, end - 3_600_000, end).unwrap())
+    });
+    g.bench_function("full_range_one_series", |b| {
+        let sel = [
+            Selector::exact("hostname", "host_1"),
+            Selector::exact("metric", "m5"),
+        ];
+        b.iter(|| db.query(&sel, 0, end).unwrap())
+    });
+    g.bench_function("regex_fanout_101_series", |b| {
+        let sel = [Selector::exact("hostname", "host_2")];
+        b.iter(|| db.query(&sel, end - 3_600_000, end).unwrap())
+    });
+    g.bench_function("selector_miss", |b| {
+        let sel = [Selector::exact("hostname", "host_99")];
+        b.iter(|| db.query(&sel, 0, end).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

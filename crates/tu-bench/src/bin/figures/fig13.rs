@@ -1,0 +1,212 @@
+//! Figure 13: end-to-end evaluation — TU (slow path) vs TU-fast vs
+//! TU-Group vs the Cortex simulator: insertion throughput, the 5-1-24 and
+//! 5-8-1 query latencies, and memory usage.
+
+use crate::Scale;
+use tu_bench::report::{fmt, fmt_rate, Table};
+use tu_bench::{build_cortex, measure, BenchConfig};
+use tu_cloud::cost::LatencyMode;
+use tu_common::alloc::fmt_bytes;
+use tu_common::{Labels, Result};
+use tu_core::engine::TimeUnion;
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+use tu_tsbs::queries::QueryPattern;
+
+struct Row {
+    name: &'static str,
+    tput: f64,
+    q5_1_24_ms: f64,
+    q5_8_1_ms: f64,
+    memory: usize,
+}
+
+pub fn run(scale: Scale) -> Result<()> {
+    let dir = tempfile::tempdir()?;
+    let cfg = BenchConfig::default();
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts: scale.host_sweep[1],
+        start_ms: 0,
+        interval_ms: scale.interval_s * 1000,
+        duration_ms: scale.hours * 3_600_000,
+        seed: 13,
+    });
+    println!(
+        "end-to-end workload: {} series, {} samples",
+        gen.options().hosts * 101,
+        gen.total_samples()
+    );
+    let mut rows = Vec::new();
+
+    // --- TU: slow-path insertion (tags on every sample) ----------------------
+    {
+        let mut opts = cfg.tu_options();
+        opts.latency = LatencyMode::Virtual;
+        let db = TimeUnion::open(dir.path().join("tu-slow"), opts)?;
+        let clock = db.storage().clock.clone();
+        let (res, ingest) = measure(&clock, || -> Result<()> {
+            for step in 0..gen.steps() {
+                let t = gen.ts_of(step);
+                for host in 0..gen.options().hosts {
+                    for m in 0..gen.metric_names().len() {
+                        db.put(&gen.series_labels(host, m), t, gen.value(host, m, step))?;
+                    }
+                }
+            }
+            Ok(())
+        });
+        res?;
+        rows.push(finish("TU", db, ingest, &gen)?);
+    }
+
+    // --- TU-fast: ID-based fast path ------------------------------------------
+    {
+        let mut opts = cfg.tu_options();
+        opts.latency = LatencyMode::Virtual;
+        let db = TimeUnion::open(dir.path().join("tu-fast"), opts)?;
+        let clock = db.storage().clock.clone();
+        let (res, ingest) = measure(&clock, || -> Result<()> {
+            let mut ids = Vec::new();
+            for host in 0..gen.options().hosts {
+                let row: Vec<u64> = (0..gen.metric_names().len())
+                    .map(|m| {
+                        db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
+                            .unwrap()
+                    })
+                    .collect();
+                ids.push(row);
+            }
+            for step in 1..gen.steps() {
+                let t = gen.ts_of(step);
+                for (host, row) in ids.iter().enumerate() {
+                    for (m, id) in row.iter().enumerate() {
+                        db.put_by_id(*id, t, gen.value(host, m, step))?;
+                    }
+                }
+            }
+            Ok(())
+        });
+        res?;
+        rows.push(finish("TU-fast", db, ingest, &gen)?);
+    }
+
+    // --- TU-Group: grouped fast path -------------------------------------------
+    {
+        let mut opts = cfg.tu_options();
+        opts.latency = LatencyMode::Virtual;
+        let db = TimeUnion::open(dir.path().join("tu-group"), opts)?;
+        let clock = db.storage().clock.clone();
+        let member_tags: Vec<Labels> = gen
+            .metric_names()
+            .iter()
+            .map(|m| Labels::from_pairs([("metric", m.as_str())]))
+            .collect();
+        let (res, ingest) = measure(&clock, || -> Result<()> {
+            let mut handles = Vec::new();
+            for host in 0..gen.options().hosts {
+                handles.push(db.put_group(
+                    &gen.host_labels(host),
+                    &member_tags,
+                    gen.ts_of(0),
+                    &gen.host_row(host, 0),
+                )?);
+            }
+            for step in 1..gen.steps() {
+                let t = gen.ts_of(step);
+                for (host, (gid, refs)) in handles.iter().enumerate() {
+                    db.put_group_fast(*gid, refs, t, &gen.host_row(host, step))?;
+                }
+            }
+            Ok(())
+        });
+        res?;
+        rows.push(finish("TU-Group", db, ingest, &gen)?);
+    }
+
+    // --- Cortex simulator ----------------------------------------------------------
+    {
+        let cortex = build_cortex(dir.path(), &cfg)?;
+        let clock = cortex.storage().clock.clone();
+        let (res, ingest) = measure(&clock, || -> Result<()> {
+            // Remote-write batches of 10,000 samples, like the paper.
+            let mut batch = Vec::with_capacity(10_000);
+            for step in 0..gen.steps() {
+                let t = gen.ts_of(step);
+                for host in 0..gen.options().hosts {
+                    for m in 0..gen.metric_names().len() {
+                        batch.push((gen.series_labels(host, m), t, gen.value(host, m, step)));
+                        if batch.len() == 10_000 {
+                            cortex.remote_write(&batch)?;
+                            batch.clear();
+                        }
+                    }
+                }
+            }
+            cortex.remote_write(&batch)
+        });
+        res?;
+        let q24 = QueryPattern::P5x1x24.spec(&gen, 2);
+        cortex.query(&q24.selectors, q24.start, q24.end)?;
+        cortex.engine().clear_block_cache();
+        let (_, m24) = measure(&clock, || cortex.query(&q24.selectors, q24.start, q24.end));
+        let q81 = QueryPattern::P5x8x1.spec(&gen, 9);
+        cortex.query(&q81.selectors, q81.start, q81.end)?;
+        cortex.engine().clear_block_cache();
+        let (_, m81) = measure(&clock, || cortex.query(&q81.selectors, q81.start, q81.end));
+        rows.push(Row {
+            name: "Cortex",
+            tput: gen.total_samples() as f64 / ingest.total_secs(),
+            q5_1_24_ms: m24.total_ms(),
+            q5_8_1_ms: m81.total_ms(),
+            memory: cortex.engine().memory().total(),
+        });
+    }
+
+    let mut t = Table::new(
+        "Figure 13: end-to-end comparison",
+        &["system", "insert tput", "5-1-24 (ms)", "5-8-1 (ms)", "memory"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            fmt_rate(r.tput),
+            fmt(r.q5_1_24_ms),
+            fmt(r.q5_8_1_ms),
+            fmt_bytes(r.memory),
+        ]);
+    }
+    t.print();
+    println!(
+        "(paper: TU > Cortex by ~27%, TU-fast ~6.6x TU, TU-Group ~2.9x TU-fast;\n\
+         Cortex ~30x slower on 5-1-24 and ~2x on 5-8-1; Cortex memory ~2-3x TU)"
+    );
+    Ok(())
+}
+
+fn finish(
+    name: &'static str,
+    db: TimeUnion,
+    ingest: tu_bench::Measured,
+    gen: &DevOpsGenerator,
+) -> Result<Row> {
+    db.sync()?;
+    let clock = db.storage().clock.clone();
+    // Warm metadata, then measure with cold data blocks (see
+    // tu_bench::measure_query for the rationale).
+    let q24 = QueryPattern::P5x1x24.spec(gen, 2);
+    db.query(&q24.selectors, q24.start, q24.end)?;
+    db.clear_block_cache();
+    let (r, m24) = measure(&clock, || db.query(&q24.selectors, q24.start, q24.end));
+    r?;
+    let q81 = QueryPattern::P5x8x1.spec(gen, 9);
+    db.query(&q81.selectors, q81.start, q81.end)?;
+    db.clear_block_cache();
+    let (r, m81) = measure(&clock, || db.query(&q81.selectors, q81.start, q81.end));
+    r?;
+    Ok(Row {
+        name,
+        tput: gen.total_samples() as f64 / ingest.total_secs(),
+        q5_1_24_ms: m24.total_ms(),
+        q5_8_1_ms: m81.total_ms(),
+        memory: db.memory_stats().total(),
+    })
+}

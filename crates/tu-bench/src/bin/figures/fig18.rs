@@ -1,0 +1,166 @@
+//! Figure 18: TimeUnion under different EBS usage constraints (18a) and
+//! different out-of-order data volumes (18b).
+
+use crate::Scale;
+use tu_bench::report::{fmt, Table};
+use tu_bench::{measure, BenchConfig};
+use tu_cloud::cost::LatencyMode;
+use tu_common::Result;
+use tu_core::engine::TimeUnion;
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+use tu_tsbs::ooo::late_samples;
+use tu_tsbs::queries::QueryPattern;
+
+fn ingest(db: &TimeUnion, gen: &DevOpsGenerator) -> Result<Vec<Vec<u64>>> {
+    let mut ids = Vec::new();
+    for host in 0..gen.options().hosts {
+        ids.push(
+            (0..gen.metric_names().len())
+                .map(|m| {
+                    db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
+                        .unwrap()
+                })
+                .collect::<Vec<u64>>(),
+        );
+    }
+    for step in 1..gen.steps() {
+        let t = gen.ts_of(step);
+        for (host, row) in ids.iter().enumerate() {
+            for (m, id) in row.iter().enumerate() {
+                db.put_by_id(*id, t, gen.value(host, m, step))?;
+            }
+        }
+    }
+    Ok(ids)
+}
+
+/// Figure 18a: sweep the fast-storage limit; report normalized insertion
+/// throughput and query latencies.
+pub fn run(scale: Scale) -> Result<()> {
+    let dir = tempfile::tempdir()?;
+    let cfg = BenchConfig::default();
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts: scale.host_sweep[0],
+        start_ms: 0,
+        interval_ms: 10_000,
+        duration_ms: scale.hours * 3_600_000,
+        seed: 18,
+    });
+
+    let limits: &[(&str, u64)] = &[
+        ("256KiB", 256 << 10),
+        ("1MiB", 1 << 20),
+        ("4MiB", 4 << 20),
+        ("16MiB", 16 << 20),
+    ];
+    let mut t = Table::new(
+        format!(
+            "Figure 18a: different EBS limits ({} series, 10s interval)",
+            gen.options().hosts * 101
+        ),
+        &["EBS limit", "insert tput", "1-1-1 (ms)", "5-1-24 (ms)", "final R1 (min)", "fast bytes"],
+    );
+    for (label, limit) in limits {
+        let mut opts = cfg.tu_options();
+        opts.latency = LatencyMode::Virtual;
+        opts.tree.fast_limit_bytes = Some(*limit);
+        opts.tree.partition_min_ms = 60_000; // let tiny limits bite
+        let db = TimeUnion::open(dir.path().join(format!("lim-{label}")), opts)?;
+        let clock = db.storage().clock.clone();
+        let (res, ingest_m) = measure(&clock, || ingest(&db, &gen));
+        res?;
+        db.sync()?;
+        let q1 = QueryPattern::P1x1x1.spec(&gen, 1);
+        db.query(&q1.selectors, q1.start, q1.end)?;
+        db.clear_block_cache();
+        let (r, m1) = measure(&clock, || db.query(&q1.selectors, q1.start, q1.end));
+        r?;
+        let q24 = QueryPattern::P5x1x24.spec(&gen, 8);
+        db.query(&q24.selectors, q24.start, q24.end)?;
+        db.clear_block_cache();
+        let (r, m24) = measure(&clock, || db.query(&q24.selectors, q24.start, q24.end));
+        r?;
+        let stats = db.tree_stats();
+        t.row(vec![
+            label.to_string(),
+            tu_bench::report::fmt_rate(gen.total_samples() as f64 / ingest_m.total_secs()),
+            fmt(m1.total_ms()),
+            fmt(m24.total_ms()),
+            fmt(stats.r1_ms as f64 / 60_000.0),
+            tu_common::alloc::fmt_bytes(stats.fast_bytes as usize),
+        ]);
+    }
+    t.print();
+    println!(
+        "(paper: insertion stays flat; short-range latency is worst at tiny limits,\n\
+         dips, then creeps up as partitions lengthen; long-range latency falls as the limit grows)"
+    );
+
+    run_ooo(scale)
+}
+
+/// Figure 18b: different volumes of out-of-order data.
+fn run_ooo(scale: Scale) -> Result<()> {
+    let dir = tempfile::tempdir()?;
+    let cfg = BenchConfig::default();
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts: scale.host_sweep[0],
+        start_ms: 0,
+        interval_ms: 10_000,
+        duration_ms: scale.hours * 3_600_000,
+        seed: 81,
+    });
+    let mut t = Table::new(
+        "Figure 18b: out-of-order data volumes",
+        &["volume", "ooo insert tput", "1-1-1 (ms)", "5-1-24 (ms)", "patches", "patch merges"],
+    );
+    for fraction in [0.0, 0.05, 0.10, 0.20] {
+        let mut opts = cfg.tu_options();
+        opts.latency = LatencyMode::Virtual;
+        let db = TimeUnion::open(
+            dir.path().join(format!("ooo-{}", (fraction * 100.0) as u32)),
+            opts,
+        )?;
+        let clock = db.storage().clock.clone();
+        let ids = ingest(&db, &gen)?;
+        db.sync()?; // settle compactions; recent data stays on the fast tier
+        let late: Vec<_> = late_samples(&gen, fraction, 182).collect();
+        let (res, late_m) = measure(&clock, || -> Result<()> {
+            for s in &late {
+                db.put_by_id(ids[s.host][s.metric], s.t, s.v)?;
+            }
+            Ok(())
+        });
+        res?;
+        db.sync()?; // settle compactions; recent data stays on the fast tier
+        let q1 = QueryPattern::P1x1x1.spec(&gen, 1);
+        db.query(&q1.selectors, q1.start, q1.end)?;
+        db.clear_block_cache();
+        let (r, m1) = measure(&clock, || db.query(&q1.selectors, q1.start, q1.end));
+        r?;
+        let q24 = QueryPattern::P5x1x24.spec(&gen, 8);
+        db.query(&q24.selectors, q24.start, q24.end)?;
+        db.clear_block_cache();
+        let (r, m24) = measure(&clock, || db.query(&q24.selectors, q24.start, q24.end));
+        r?;
+        let stats = db.tree_stats();
+        t.row(vec![
+            format!("p{}", (fraction * 100.0) as u32),
+            if late.is_empty() {
+                "-".into()
+            } else {
+                tu_bench::report::fmt_rate(late.len() as f64 / late_m.total_secs().max(1e-9))
+            },
+            fmt(m1.total_ms()),
+            fmt(m24.total_ms()),
+            stats.patches_created.to_string(),
+            stats.patch_merges.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "(paper: insertion barely affected; short-range latency ~+3%;\n\
+         long-range latency grows with the out-of-order volume as more S3 tables are read)"
+    );
+    Ok(())
+}

@@ -1,0 +1,356 @@
+//! The fast tier: a directory-backed block store modelling AWS EBS.
+//!
+//! Files are byte-addressable (random-access reads, appends) and charged
+//! per-request against the EBS latency model. The store tracks its total
+//! occupied bytes because the dynamic-size-control experiments (Figures 18a
+//! and 19) constrain exactly this number.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cost::{CostClock, LatencyModel, StorageStats};
+use tu_common::{Error, Result};
+
+/// Directory-backed fast block storage with an EBS-like cost model.
+pub struct BlockStore {
+    root: PathBuf,
+    model: LatencyModel,
+    clock: CostClock,
+    used_bytes: AtomicU64,
+    stats: Stats,
+    /// Files that have been read at least once (first-read penalty applies
+    /// to the others), plus the set of known files and their sizes.
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    sizes: HashMap<String, u64>,
+    read_before: HashSet<String>,
+}
+
+#[derive(Default)]
+struct Stats {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl BlockStore {
+    /// Opens the store rooted at `root`, creating the directory and indexing
+    /// any files already present (recovery path).
+    pub fn open(root: impl Into<PathBuf>, model: LatencyModel, clock: CostClock) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let store = BlockStore {
+            root,
+            model,
+            clock,
+            used_bytes: AtomicU64::new(0),
+            stats: Stats::default(),
+            state: Mutex::new(State::default()),
+        };
+        store.reindex()?;
+        Ok(store)
+    }
+
+    fn reindex(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        state.sizes.clear();
+        let mut total = 0;
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    let len = entry.metadata()?.len();
+                    total += len;
+                    state.sizes.insert(self.rel_name(&path), len);
+                }
+            }
+        }
+        self.used_bytes.store(total, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn rel_name(&self, path: &Path) -> String {
+        path.strip_prefix(&self.root)
+            .expect("indexed path is under root")
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Writes (or replaces) an entire file.
+    pub fn write_file(&self, name: &str, data: &[u8]) -> Result<()> {
+        let path = self.path_of(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(&path, data)?;
+        let mut state = self.state.lock();
+        let old = state.sizes.insert(name.to_string(), data.len() as u64);
+        drop(state);
+        if let Some(old) = old {
+            self.used_bytes.fetch_sub(old, Ordering::Relaxed);
+        }
+        self.used_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.clock.charge(self.model.write_ns(data.len() as u64));
+        Ok(())
+    }
+
+    /// Appends to a file, creating it if absent. Returns the offset at which
+    /// the data was written. Used by the write-ahead log.
+    pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
+        let path = self.path_of(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+        let offset = f.seek(SeekFrom::End(0))?;
+        f.write_all(data)?;
+        let mut state = self.state.lock();
+        *state.sizes.entry(name.to_string()).or_insert(0) += data.len() as u64;
+        drop(state);
+        self.used_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.clock.charge(self.model.write_ns(data.len() as u64));
+        Ok(offset)
+    }
+
+    /// Reads an entire file.
+    pub fn read_file(&self, name: &str) -> Result<Vec<u8>> {
+        let data = fs::read(self.path_of(name)).map_err(|e| self.map_nf(e, name))?;
+        self.charge_read(name, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Reads `len` bytes at `offset`. Short reads at end-of-file return the
+    /// available prefix (callers that require exact lengths check).
+    pub fn read_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut f = File::open(self.path_of(name)).map_err(|e| self.map_nf(e, name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            let n = f.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        self.charge_read(name, filled as u64);
+        Ok(buf)
+    }
+
+    fn charge_read(&self, name: &str, len: u64) {
+        let first = {
+            let mut state = self.state.lock();
+            state.read_before.insert(name.to_string())
+        };
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.clock.charge(self.model.read_ns(len, first));
+    }
+
+    fn map_nf(&self, e: std::io::Error, name: &str) -> Error {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            Error::not_found(format!("block file {name}"))
+        } else {
+            Error::Io(e)
+        }
+    }
+
+    /// Deletes a file. Deleting a missing file is an error.
+    pub fn delete(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.path_of(name)).map_err(|e| self.map_nf(e, name))?;
+        let mut state = self.state.lock();
+        if let Some(len) = state.sizes.remove(name) {
+            self.used_bytes.fetch_sub(len, Ordering::Relaxed);
+        }
+        state.read_before.remove(name);
+        drop(state);
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Size of one file in bytes.
+    pub fn len(&self, name: &str) -> Result<u64> {
+        self.state
+            .lock()
+            .sizes
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::not_found(format!("block file {name}")))
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.state.lock().sizes.contains_key(name)
+    }
+
+    /// All file names with the given prefix, sorted.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        let state = self.state.lock();
+        let mut out: Vec<String> = state
+            .sizes
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total bytes currently stored — the "EBS usage" the dynamic size
+    /// controller constrains.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StorageStats {
+        StorageStats {
+            get_requests: self.stats.gets.load(Ordering::Relaxed),
+            put_requests: self.stats.puts.load(Ordering::Relaxed),
+            delete_requests: self.stats.deletes.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LatencyMode;
+
+    fn store() -> (tempfile::TempDir, BlockStore) {
+        let dir = tempfile::tempdir().unwrap();
+        let s = BlockStore::open(
+            dir.path().join("blk"),
+            LatencyModel::ebs(),
+            CostClock::new(LatencyMode::Virtual),
+        )
+        .unwrap();
+        (dir, s)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (_d, s) = store();
+        s.write_file("part/sst-1", b"abcdef").unwrap();
+        assert_eq!(s.read_file("part/sst-1").unwrap(), b"abcdef");
+        assert_eq!(s.len("part/sst-1").unwrap(), 6);
+        assert!(s.exists("part/sst-1"));
+        assert_eq!(s.used_bytes(), 6);
+    }
+
+    #[test]
+    fn read_range_handles_offsets_and_eof() {
+        let (_d, s) = store();
+        s.write_file("f", b"0123456789").unwrap();
+        assert_eq!(s.read_range("f", 2, 3).unwrap(), b"234");
+        assert_eq!(s.read_range("f", 8, 10).unwrap(), b"89");
+        assert_eq!(s.read_range("f", 20, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn append_accumulates_and_returns_offset() {
+        let (_d, s) = store();
+        assert_eq!(s.append("wal", b"aaa").unwrap(), 0);
+        assert_eq!(s.append("wal", b"bb").unwrap(), 3);
+        assert_eq!(s.read_file("wal").unwrap(), b"aaabb");
+        assert_eq!(s.used_bytes(), 5);
+    }
+
+    #[test]
+    fn overwrite_updates_usage() {
+        let (_d, s) = store();
+        s.write_file("f", &[0u8; 100]).unwrap();
+        s.write_file("f", &[0u8; 40]).unwrap();
+        assert_eq!(s.used_bytes(), 40);
+    }
+
+    #[test]
+    fn delete_frees_usage_and_missing_is_not_found() {
+        let (_d, s) = store();
+        s.write_file("f", b"xyz").unwrap();
+        s.delete("f").unwrap();
+        assert_eq!(s.used_bytes(), 0);
+        assert!(!s.exists("f"));
+        assert!(s.read_file("f").unwrap_err().is_not_found());
+        assert!(s.delete("f").unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn list_prefix_is_sorted_and_filtered() {
+        let (_d, s) = store();
+        for n in ["l0/b", "l0/a", "l1/c"] {
+            s.write_file(n, b"x").unwrap();
+        }
+        assert_eq!(s.list_prefix("l0/"), vec!["l0/a", "l0/b"]);
+        assert_eq!(s.list_prefix(""), vec!["l0/a", "l0/b", "l1/c"]);
+    }
+
+    #[test]
+    fn reopen_reindexes_existing_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let clock = CostClock::new(LatencyMode::Off);
+        {
+            let s =
+                BlockStore::open(dir.path().join("blk"), LatencyModel::ebs(), clock.clone())
+                    .unwrap();
+            s.write_file("sub/keep", b"abcd").unwrap();
+        }
+        let s = BlockStore::open(dir.path().join("blk"), LatencyModel::ebs(), clock).unwrap();
+        assert_eq!(s.used_bytes(), 4);
+        assert_eq!(s.read_file("sub/keep").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn first_read_charges_more_than_second() {
+        let (_d, s) = store();
+        s.write_file("f", &[1u8; 1024]).unwrap();
+        let before = s.stats();
+        let t0 = {
+            let start = clock_of(&s);
+            s.read_file("f").unwrap();
+            clock_of(&s) - start
+        };
+        let t1 = {
+            let start = clock_of(&s);
+            s.read_file("f").unwrap();
+            clock_of(&s) - start
+        };
+        assert!(t0 > t1, "first read {t0}ns should exceed second {t1}ns");
+        let delta = s.stats().since(&before);
+        assert_eq!(delta.get_requests, 2);
+        assert_eq!(delta.bytes_read, 2048);
+    }
+
+    fn clock_of(s: &BlockStore) -> u64 {
+        s.clock.virtual_ns()
+    }
+}

@@ -1,0 +1,255 @@
+//! Latency models and the virtual cost clock.
+//!
+//! Each storage tier charges requests according to a [`LatencyModel`]
+//! calibrated to the paper's §2.1 measurements. Charges are accumulated on a
+//! shared [`CostClock`], which either (a) only tracks *virtual* nanoseconds
+//! (deterministic, the default for the figure harness), (b) additionally
+//! sleeps a scaled-down real duration (for end-to-end throughput runs where
+//! background threads must actually contend), or (c) is disabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How modelled latency is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyMode {
+    /// No accounting at all (pure-correctness tests).
+    Off,
+    /// Accumulate virtual nanoseconds only. Deterministic and fast.
+    Virtual,
+    /// Accumulate virtual nanoseconds *and* sleep `scale` × the modelled
+    /// duration (e.g. `0.01` compresses a 30 ms S3 GET to 300 µs).
+    Sleep(f64),
+}
+
+/// Per-tier latency/bandwidth parameters.
+///
+/// The modelled duration of a request of `size` bytes is
+/// `base + max(0, size - free_bytes) / bandwidth`, where `free_bytes`
+/// captures the paper's observation that read latency is flat below 16 KiB.
+/// The first read of an object multiplies `base` by `first_read_factor`
+/// (Figure 1c: 1.8× for EBS, 1.71× for S3).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Fixed per-request latency for reads, in nanoseconds.
+    pub read_base_ns: u64,
+    /// Fixed per-request latency for writes, in nanoseconds.
+    pub write_base_ns: u64,
+    /// Sustained throughput in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Bytes included in the base latency (the flat-latency knee).
+    pub free_bytes: u64,
+    /// Multiplier on `read_base_ns` for the first read of an object.
+    pub first_read_factor: f64,
+}
+
+impl LatencyModel {
+    /// EBS gp2-like parameters (Figure 1b/1c): ~100 µs request latency,
+    /// ~250 MB/s, flat below 16 KiB, first read 1.8× slower.
+    pub fn ebs() -> Self {
+        LatencyModel {
+            read_base_ns: 100_000,
+            write_base_ns: 120_000,
+            bandwidth_bps: 250 * 1024 * 1024,
+            free_bytes: 16 * 1024,
+            first_read_factor: 1.8,
+        }
+    }
+
+    /// Same-region S3-like parameters: ~20 ms GET / ~40 ms PUT request
+    /// latency, ~100 MB/s per stream, flat below 16 KiB, first read 1.71×.
+    pub fn s3() -> Self {
+        LatencyModel {
+            read_base_ns: 20_000_000,
+            write_base_ns: 40_000_000,
+            bandwidth_bps: 100 * 1024 * 1024,
+            free_bytes: 16 * 1024,
+            first_read_factor: 1.71,
+        }
+    }
+
+    /// Modelled duration of a read of `size` bytes.
+    pub fn read_ns(&self, size: u64, first_read: bool) -> u64 {
+        let base = if first_read {
+            (self.read_base_ns as f64 * self.first_read_factor) as u64
+        } else {
+            self.read_base_ns
+        };
+        base + self.transfer_ns(size)
+    }
+
+    /// Modelled duration of a write of `size` bytes.
+    pub fn write_ns(&self, size: u64) -> u64 {
+        self.write_base_ns + self.transfer_ns(size)
+    }
+
+    fn transfer_ns(&self, size: u64) -> u64 {
+        let billed = size.saturating_sub(self.free_bytes);
+        // ns = bytes / (bytes/s) * 1e9, computed in u128 to avoid overflow.
+        ((billed as u128 * 1_000_000_000) / self.bandwidth_bps as u128) as u64
+    }
+}
+
+/// Per-tier operation counters, snapshotted by experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    pub get_requests: u64,
+    pub put_requests: u64,
+    pub delete_requests: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl StorageStats {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &StorageStats) -> StorageStats {
+        StorageStats {
+            get_requests: self.get_requests - earlier.get_requests,
+            put_requests: self.put_requests - earlier.put_requests,
+            delete_requests: self.delete_requests - earlier.delete_requests,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClockInner {
+    virtual_ns: AtomicU64,
+}
+
+/// Shared accumulator of modelled storage time.
+///
+/// Cloning shares the accumulator; the block and object tiers of one
+/// [`crate::StorageEnv`] charge the same clock so an experiment can read one
+/// total. Use [`CostClock::virtual_ns`] snapshots around an operation to
+/// attribute cost to it (single-threaded measurement sections).
+#[derive(Clone)]
+pub struct CostClock {
+    inner: Arc<ClockInner>,
+    mode: LatencyMode,
+}
+
+impl CostClock {
+    pub fn new(mode: LatencyMode) -> Self {
+        CostClock {
+            inner: Arc::new(ClockInner::default()),
+            mode,
+        }
+    }
+
+    pub fn mode(&self) -> LatencyMode {
+        self.mode
+    }
+
+    /// Charges `ns` of modelled time (and sleeps if in sleep mode).
+    pub fn charge(&self, ns: u64) {
+        match self.mode {
+            LatencyMode::Off => {}
+            LatencyMode::Virtual => {
+                self.inner.virtual_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+            LatencyMode::Sleep(scale) => {
+                self.inner.virtual_ns.fetch_add(ns, Ordering::Relaxed);
+                let real = (ns as f64 * scale) as u64;
+                if real > 0 {
+                    std::thread::sleep(Duration::from_nanos(real));
+                }
+            }
+        }
+    }
+
+    /// Total modelled nanoseconds charged so far.
+    pub fn virtual_ns(&self) -> u64 {
+        self.inner.virtual_ns.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CostClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostClock")
+            .field("mode", &self.mode)
+            .field("virtual_ns", &self.virtual_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_reads_have_flat_latency() {
+        let m = LatencyModel::ebs();
+        assert_eq!(m.read_ns(1, false), m.read_ns(16 * 1024, false));
+        assert!(m.read_ns(17 * 1024, false) > m.read_ns(16 * 1024, false));
+    }
+
+    #[test]
+    fn first_read_penalty_applies() {
+        let m = LatencyModel::s3();
+        let first = m.read_ns(4096, true);
+        let later = m.read_ns(4096, false);
+        assert!(first > later);
+        assert!((first as f64 / later as f64 - 1.71).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_write_gap_is_orders_of_magnitude() {
+        // Figure 1b: for small writes EBS is ≥3 orders of magnitude faster.
+        let ebs = LatencyModel::ebs().write_ns(4);
+        let s3 = LatencyModel::s3().write_ns(4);
+        assert!(s3 / ebs >= 100, "s3 {s3} vs ebs {ebs}");
+    }
+
+    #[test]
+    fn large_write_gap_shrinks_with_size() {
+        // Figure 1b: the gap narrows as write size grows (bandwidth term
+        // dominates), approaching the bandwidth ratio.
+        let small_gap =
+            LatencyModel::s3().write_ns(4) as f64 / LatencyModel::ebs().write_ns(4) as f64;
+        let sz = 32 * 1024 * 1024;
+        let big_gap =
+            LatencyModel::s3().write_ns(sz) as f64 / LatencyModel::ebs().write_ns(sz) as f64;
+        assert!(big_gap < small_gap / 10.0);
+        assert!(big_gap >= 2.0, "EBS still ~3x faster at 32MB: {big_gap}");
+    }
+
+    #[test]
+    fn cost_clock_accumulates_in_virtual_mode() {
+        let c = CostClock::new(LatencyMode::Virtual);
+        let c2 = c.clone();
+        c.charge(100);
+        c2.charge(50);
+        assert_eq!(c.virtual_ns(), 150);
+    }
+
+    #[test]
+    fn cost_clock_off_mode_ignores_charges() {
+        let c = CostClock::new(LatencyMode::Off);
+        c.charge(1_000_000);
+        assert_eq!(c.virtual_ns(), 0);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = StorageStats {
+            get_requests: 10,
+            put_requests: 4,
+            delete_requests: 1,
+            bytes_read: 100,
+            bytes_written: 50,
+        };
+        let b = StorageStats {
+            get_requests: 3,
+            put_requests: 1,
+            delete_requests: 0,
+            bytes_read: 20,
+            bytes_written: 5,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.get_requests, 7);
+        assert_eq!(d.bytes_written, 45);
+    }
+}

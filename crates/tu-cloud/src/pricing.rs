@@ -1,0 +1,66 @@
+//! The Figure 1a price sheet: cost per GB-month of RAM, cloud block
+//! storage, and cloud object storage.
+//!
+//! Prices follow the paper's ap-northeast-1 (Tokyo) survey: EBS is ~4×
+//! more expensive than S3, and RAM (estimated from the price deltas of t3
+//! instances with different memory volumes) is at least two orders of
+//! magnitude more expensive than EBS.
+
+/// A storage tier with a price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Instance memory (estimated from EC2/ElastiCache instance deltas).
+    Ram,
+    /// Cloud block storage (AWS EBS gp2).
+    Block,
+    /// Cloud object storage (AWS S3 standard).
+    Object,
+}
+
+/// USD per GB-month for a tier.
+pub fn usd_per_gb_month(tier: Tier) -> f64 {
+    match tier {
+        Tier::Ram => 14.50,
+        Tier::Block => 0.12,
+        Tier::Object => 0.025,
+    }
+}
+
+/// Monthly cost in USD of holding `bytes` on `tier`.
+pub fn monthly_cost_usd(tier: Tier, bytes: u64) -> f64 {
+    usd_per_gb_month(tier) * bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+}
+
+/// The full price sheet, for the Figure 1a report.
+pub fn price_sheet() -> Vec<(Tier, &'static str, f64)> {
+    vec![
+        (Tier::Ram, "RAM (EC2/ElastiCache estimate)", usd_per_gb_month(Tier::Ram)),
+        (Tier::Block, "Block storage (EBS gp2)", usd_per_gb_month(Tier::Block)),
+        (Tier::Object, "Object storage (S3 standard)", usd_per_gb_month(Tier::Object)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_roughly_4x_object() {
+        let ratio = usd_per_gb_month(Tier::Block) / usd_per_gb_month(Tier::Object);
+        assert!(ratio >= 4.0 && ratio <= 6.0, "EBS/S3 ratio {ratio}");
+    }
+
+    #[test]
+    fn ram_is_two_orders_over_block() {
+        let ratio = usd_per_gb_month(Tier::Ram) / usd_per_gb_month(Tier::Block);
+        assert!(ratio >= 100.0, "RAM/EBS ratio {ratio}");
+    }
+
+    #[test]
+    fn monthly_cost_scales_linearly() {
+        let one_gb = monthly_cost_usd(Tier::Object, 1 << 30);
+        let ten_gb = monthly_cost_usd(Tier::Object, 10 << 30);
+        assert!((ten_gb - 10.0 * one_gb).abs() < 1e-9);
+        assert!((one_gb - 0.025).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Global memory accounting used to reproduce the paper's memory
+//! experiments (Figures 3, 13d, and 16).
+//!
+//! The paper measures resident set size under a 16 GB cgroup. Here a
+//! counting allocator plays that role: it wraps the system allocator and
+//! keeps live/peak byte counters. Binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tu_common::alloc::CountingAllocator = tu_common::alloc::CountingAllocator;
+//! ```
+//!
+//! Engines additionally expose *structural* accounting (`heap_bytes()` style
+//! methods) so the Figure 3b breakdown (inverted index vs. block metadata
+//! vs. samples) can be reported per component, which RSS alone cannot do.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] wrapper over the system allocator that tracks live and
+/// peak heap bytes.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[inline]
+fn record_alloc(size: usize) {
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // Racy max update is fine: the peak is a monitoring statistic.
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Heap bytes currently allocated (only meaningful when
+/// [`CountingAllocator`] is installed as the global allocator).
+pub fn live_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of heap bytes since process start (or the last
+/// [`reset_peak`]).
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Total number of allocation calls observed.
+pub fn total_allocs() -> usize {
+    TOTAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Resets the peak tracker to the current live size, so an experiment can
+/// measure its own high-water mark.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Formats a byte count with binary-prefix units for reports.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_picks_sensible_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+
+    // The counter functions are exercised for consistency even when the
+    // counting allocator is not installed in the test harness.
+    #[test]
+    fn counters_are_readable() {
+        let live = live_bytes();
+        let peak = peak_bytes();
+        assert!(peak >= live || peak == 0);
+        reset_peak();
+        assert!(peak_bytes() >= live_bytes() || peak_bytes() == 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared across all TimeUnion crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for every TimeUnion subsystem.
+///
+/// Variants are deliberately coarse: callers dispatch on broad categories
+/// (retryable I/O vs. permanent corruption vs. caller mistakes), while the
+/// embedded message carries the specific context for humans.
+#[derive(Debug)]
+pub enum Error {
+    /// An operating-system level I/O failure.
+    Io(std::io::Error),
+    /// Stored bytes failed validation (bad magic, CRC mismatch, truncation).
+    Corruption(String),
+    /// The caller passed an argument the API cannot honour.
+    InvalidArgument(String),
+    /// The requested series, group, object, or key does not exist.
+    NotFound(String),
+    /// The engine is shutting down or the component was already closed.
+    Closed(String),
+    /// A capacity or configuration limit was exceeded.
+    LimitExceeded(String),
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Corruption`] with a formatted message.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Shorthand for a [`Error::InvalidArgument`] with a formatted message.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand for a [`Error::NotFound`] with a formatted message.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// True if the error indicates on-disk corruption rather than a caller
+    /// mistake or environmental failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+
+    /// True if the error is a not-found lookup miss.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Closed(m) => write!(f, "closed: {m}"),
+            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::corruption("bad magic in sstable footer");
+        assert_eq!(e.to_string(), "corruption: bad magic in sstable footer");
+        assert!(e.is_corruption());
+        assert!(!e.is_not_found());
+    }
+
+    #[test]
+    fn io_error_converts_and_chains_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn not_found_helper_sets_variant() {
+        let e = Error::not_found("series 42");
+        assert!(e.is_not_found());
+        assert_eq!(e.to_string(), "not found: series 42");
+    }
+}

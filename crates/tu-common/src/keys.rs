@@ -1,0 +1,104 @@
+//! Order-preserving key encoding for the time-partitioned LSM-tree.
+//!
+//! The paper (§3.3, Figure 10) stores each chunk under a 16-byte key:
+//! the series/group ID in the first 8 bytes and the chunk's starting
+//! timestamp in the second 8 bytes, both big-endian, so that
+//!
+//! * chunks of the same series/group are adjacent (ID prefix), and
+//! * within a series they are sorted by starting timestamp.
+//!
+//! Timestamps are signed; to keep byte order equal to numeric order the sign
+//! bit is flipped before the big-endian write (the standard order-preserving
+//! transform for two's-complement integers).
+
+use crate::error::{Error, Result};
+use crate::types::{SeriesId, Timestamp};
+
+/// Length in bytes of an encoded chunk key.
+pub const KEY_LEN: usize = 16;
+
+/// Encodes `(id, start_ts)` into a 16-byte key whose lexicographic order
+/// equals the order of `(id, start_ts)` tuples.
+#[inline]
+pub fn encode_key(id: SeriesId, start_ts: Timestamp) -> [u8; KEY_LEN] {
+    let mut out = [0u8; KEY_LEN];
+    out[..8].copy_from_slice(&id.to_be_bytes());
+    out[8..].copy_from_slice(&((start_ts as u64) ^ (1 << 63)).to_be_bytes());
+    out
+}
+
+/// Decodes a key produced by [`encode_key`].
+#[inline]
+pub fn decode_key(key: &[u8]) -> Result<(SeriesId, Timestamp)> {
+    if key.len() != KEY_LEN {
+        return Err(Error::corruption(format!(
+            "chunk key must be {KEY_LEN} bytes, got {}",
+            key.len()
+        )));
+    }
+    let id = u64::from_be_bytes(key[..8].try_into().expect("checked length"));
+    let ts_bits = u64::from_be_bytes(key[8..].try_into().expect("checked length"));
+    Ok((id, (ts_bits ^ (1 << 63)) as i64))
+}
+
+/// Decodes only the series/group ID prefix of a key.
+#[inline]
+pub fn decode_id(key: &[u8]) -> Result<SeriesId> {
+    if key.len() < 8 {
+        return Err(Error::corruption("chunk key shorter than 8-byte ID prefix"));
+    }
+    Ok(u64::from_be_bytes(key[..8].try_into().expect("checked length")))
+}
+
+/// Decodes only the starting-timestamp suffix of a key.
+#[inline]
+pub fn decode_ts(key: &[u8]) -> Result<Timestamp> {
+    decode_key(key).map(|(_, t)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for &(id, ts) in &[
+            (0u64, 0i64),
+            (1, -1),
+            (42, 1_600_000_000_000),
+            (u64::MAX, i64::MAX),
+            (u64::MAX, i64::MIN),
+        ] {
+            let k = encode_key(id, ts);
+            assert_eq!(decode_key(&k).unwrap(), (id, ts));
+            assert_eq!(decode_id(&k).unwrap(), id);
+            assert_eq!(decode_ts(&k).unwrap(), ts);
+        }
+    }
+
+    #[test]
+    fn byte_order_matches_tuple_order() {
+        let tuples = [
+            (0u64, i64::MIN),
+            (0, -5),
+            (0, 0),
+            (0, 7),
+            (0, i64::MAX),
+            (1, i64::MIN),
+            (1, 0),
+            (u64::MAX, -3),
+        ];
+        for w in tuples.windows(2) {
+            let a = encode_key(w[0].0, w[0].1);
+            let b = encode_key(w[1].0, w[1].1);
+            assert!(a < b, "{:?} should sort before {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_lengths() {
+        assert!(decode_key(&[0; 15]).is_err());
+        assert!(decode_key(&[0; 17]).is_err());
+        assert!(decode_id(&[0; 7]).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared foundation types for the TimeUnion workspace.
+//!
+//! This crate holds everything more than one subsystem needs and nothing
+//! else: sample/identifier types, tag sets, order-preserving key encoding,
+//! varint coding, error handling, a clock abstraction, and the global
+//! memory-accounting hooks used to reproduce the paper's memory experiments
+//! (Figures 3, 13d, and 16).
+
+pub mod alloc;
+pub mod clock;
+pub mod error;
+pub mod keys;
+pub mod types;
+pub mod varint;
+
+pub use error::{Error, Result};
+pub use types::{
+    GroupId, Labels, Sample, SeriesId, SeriesRef, TimeRange, Timestamp, Value, GROUP_ID_FLAG,
+};

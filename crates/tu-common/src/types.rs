@@ -1,0 +1,342 @@
+//! Core data-model types: timestamps, samples, tag sets, and identifiers.
+//!
+//! TimeUnion's unified data model (§3.1 of the paper) represents both
+//! individual timeseries and timeseries groups. Both kinds are addressed by a
+//! 64-bit identifier; the top bit distinguishes groups from individual series
+//! so that a single key space (and a single inverted index) can cover both.
+
+use std::fmt;
+
+/// Milliseconds since the Unix epoch, as in Prometheus and the paper.
+pub type Timestamp = i64;
+
+/// A metric value. The paper fixes this to a 64-bit float.
+pub type Value = f64;
+
+/// Identifier bit marking an ID as a *group* rather than an individual
+/// series. Group IDs double as postings IDs in the inverted index (§3.1).
+pub const GROUP_ID_FLAG: u64 = 1 << 63;
+
+/// Identifier of an individual timeseries (top bit clear) or of a group
+/// (top bit set — see [`GROUP_ID_FLAG`]).
+pub type SeriesId = u64;
+
+/// Identifier of a timeseries group. Always has [`GROUP_ID_FLAG`] set.
+pub type GroupId = u64;
+
+/// Position of a member series inside its group's appending array (§3.4).
+pub type SeriesRef = u32;
+
+/// Returns true if `id` addresses a group.
+#[inline]
+pub fn is_group_id(id: SeriesId) -> bool {
+    id & GROUP_ID_FLAG != 0
+}
+
+/// One data point: a timestamp and a metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    pub t: Timestamp,
+    pub v: Value,
+}
+
+impl Sample {
+    pub fn new(t: Timestamp, v: Value) -> Self {
+        Sample { t, v }
+    }
+}
+
+/// A half-open time range `[start, end)` in milliseconds.
+///
+/// All partition bookkeeping in the time-partitioned LSM-tree uses half-open
+/// ranges so adjacent partitions tile the time axis without overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start <= end, "time range start must not exceed end");
+        TimeRange { start, end }
+    }
+
+    /// The empty range at the origin.
+    pub fn empty() -> Self {
+        TimeRange { start: 0, end: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    pub fn len(&self) -> i64 {
+        (self.end - self.start).max(0)
+    }
+
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// True when the two half-open ranges share at least one instant.
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// True when `other` lies entirely within `self`.
+    pub fn covers(&self, other: &TimeRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// The smallest range covering both inputs.
+    pub fn union(&self, other: &TimeRange) -> TimeRange {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        TimeRange::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// The overlap of the two ranges, or an empty range when disjoint.
+    pub fn intersect(&self, other: &TimeRange) -> TimeRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start >= end {
+            TimeRange::empty()
+        } else {
+            TimeRange::new(start, end)
+        }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A sorted, deduplicated set of tag pairs identifying a timeseries.
+///
+/// Tags are kept sorted by key so that equal identifier sets have equal
+/// byte representations, which the trie index and group membership checks
+/// rely on. The paper calls these "tag pairs"; Prometheus calls them labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    pub fn new() -> Self {
+        Labels(Vec::new())
+    }
+
+    /// Builds a tag set from arbitrary pairs, sorting and deduplicating by
+    /// key (last write wins on duplicates, matching Prometheus semantics).
+    pub fn from_pairs<K: Into<String>, V: Into<String>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Self {
+        let mut v: Vec<(String, String)> =
+            pairs.into_iter().map(|(k, val)| (k.into(), val.into())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                // Keep the later entry's value: move it into the survivor.
+                std::mem::swap(&mut a.1, &mut b.1);
+                true
+            } else {
+                false
+            }
+        });
+        Labels(v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.0[i].1.as_str())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Inserts or replaces one tag pair, keeping sorted order.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (key, value)),
+        }
+    }
+
+    /// Removes a tag pair by key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.0.remove(i).1)
+    }
+
+    /// True when every pair in `other` also appears in `self`.
+    pub fn contains_all(&self, other: &Labels) -> bool {
+        other.iter().all(|(k, v)| self.get(k) == Some(v))
+    }
+
+    /// Splits this tag set into `(matching, rest)` where `matching` holds the
+    /// pairs equal to pairs of `group_tags`. Used when converting a flat tag
+    /// set into the group representation (Figure 6): the group tags are
+    /// extracted, the remainder uniquely identifies the series in the group.
+    pub fn split_group_tags(&self, group_tags: &Labels) -> (Labels, Labels) {
+        let mut matching = Vec::new();
+        let mut rest = Vec::new();
+        for (k, v) in &self.0 {
+            if group_tags.get(k) == Some(v.as_str()) {
+                matching.push((k.clone(), v.clone()));
+            } else {
+                rest.push((k.clone(), v.clone()));
+            }
+        }
+        (Labels(matching), Labels(rest))
+    }
+
+    /// Merges two tag sets; pairs in `other` win on key conflicts.
+    pub fn merge(&self, other: &Labels) -> Labels {
+        let mut out = self.clone();
+        for (k, v) in other.iter() {
+            out.set(k, v);
+        }
+        out
+    }
+
+    /// Canonical byte representation: `key1\x00value1\x00key2\x00value2...`.
+    /// Equal tag sets produce equal bytes; used as hash-map keys and for the
+    /// trie's concatenated `key$value` entries.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approx_byte_len());
+        for (k, v) in &self.0 {
+            out.extend_from_slice(k.as_bytes());
+            out.push(0);
+            out.extend_from_slice(v.as_bytes());
+            out.push(0);
+        }
+        out
+    }
+
+    /// Rough serialized size, used for capacity hints and space accounting.
+    pub fn approx_byte_len(&self) -> usize {
+        self.0.iter().map(|(k, v)| k.len() + v.len() + 2).sum()
+    }
+
+    /// Heap bytes retained by this tag set (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.0.capacity() * std::mem::size_of::<(String, String)>()
+            + self.0.iter().map(|(k, v)| k.capacity() + v.capacity()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}=\"{v}\"")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for Labels {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Labels::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_dedup_last_wins() {
+        let l = Labels::from_pairs([("b", "2"), ("a", "1"), ("b", "3")]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get("a"), Some("1"));
+        assert_eq!(l.get("b"), Some("3"));
+    }
+
+    #[test]
+    fn labels_set_and_remove_keep_order() {
+        let mut l = Labels::from_pairs([("m", "cpu")]);
+        l.set("host", "h1");
+        l.set("zone", "z");
+        l.set("host", "h2");
+        assert_eq!(l.get("host"), Some("h2"));
+        let keys: Vec<&str> = l.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["host", "m", "zone"]);
+        assert_eq!(l.remove("m"), Some("cpu".to_string()));
+        assert_eq!(l.get("m"), None);
+    }
+
+    #[test]
+    fn split_group_tags_partitions_pairs() {
+        let l = Labels::from_pairs([("region", "1"), ("device", "7"), ("metric", "cpu")]);
+        let group = Labels::from_pairs([("region", "1")]);
+        let (shared, unique) = l.split_group_tags(&group);
+        assert_eq!(shared, Labels::from_pairs([("region", "1")]));
+        assert_eq!(
+            unique,
+            Labels::from_pairs([("device", "7"), ("metric", "cpu")])
+        );
+    }
+
+    #[test]
+    fn split_group_tags_requires_value_match() {
+        let l = Labels::from_pairs([("region", "2"), ("metric", "cpu")]);
+        let group = Labels::from_pairs([("region", "1")]);
+        let (shared, unique) = l.split_group_tags(&group);
+        assert!(shared.is_empty());
+        assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn to_bytes_is_injective_for_distinct_sets() {
+        let a = Labels::from_pairs([("a", "b")]);
+        let b = Labels::from_pairs([("a", "b"), ("c", "d")]);
+        let c = Labels::from_pairs([("ab", "")]);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn time_range_relations() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(10, 20);
+        let c = TimeRange::new(5, 15);
+        assert!(!a.overlaps(&b), "half-open ranges touching at 10 are disjoint");
+        assert!(a.overlaps(&c));
+        assert!(a.contains(0));
+        assert!(!a.contains(10));
+        assert_eq!(a.union(&b), TimeRange::new(0, 20));
+        assert_eq!(a.intersect(&c), TimeRange::new(5, 10));
+        assert!(a.intersect(&b).is_empty());
+        assert!(TimeRange::new(0, 20).covers(&c));
+    }
+
+    #[test]
+    fn group_flag_distinguishes_ids() {
+        assert!(!is_group_id(7));
+        assert!(is_group_id(7 | GROUP_ID_FLAG));
+    }
+}

@@ -1,0 +1,150 @@
+//! LEB128 varint and zigzag coding.
+//!
+//! Used by the SSTable format (restart-point offsets, shared-prefix lengths)
+//! and by chunk serialization (sample counts, sequence IDs).
+
+use crate::error::{Error, Result};
+
+/// Maximum encoded length of a u64 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` to `out` as an unsigned LEB128 varint.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` to `out` as a zigzag-encoded signed varint.
+#[inline]
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag_encode(v));
+}
+
+/// Reads a u64 varint from the front of `buf`, returning the value and the
+/// number of bytes consumed.
+#[inline]
+pub fn read_u64(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(Error::corruption("varint longer than 10 bytes"));
+        }
+        // The 10th byte may only contribute the low bit of the value.
+        if shift == 63 && byte > 1 {
+            return Err(Error::corruption("varint overflows u64"));
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::corruption("truncated varint"))
+}
+
+/// Reads a zigzag-encoded signed varint from the front of `buf`.
+#[inline]
+pub fn read_i64(buf: &[u8]) -> Result<(i64, usize)> {
+    let (raw, n) = read_u64(buf)?;
+    Ok((zigzag_decode(raw), n))
+}
+
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Number of bytes [`write_u64`] would emit for `v`.
+#[inline]
+pub fn encoded_len_u64(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_boundaries() {
+        for &v in &[0u64, 1, 127, 128, 16383, 16384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), encoded_len_u64(v));
+            let (back, n) = read_u64(&buf).unwrap();
+            assert_eq!((back, n), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for &v in &[0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (back, _) = read_i64(&buf).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes never terminate within the allowed length.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&buf).is_err());
+        // A 10-byte varint whose final byte sets bits beyond u64 capacity.
+        let mut over = vec![0xffu8; 9];
+        over.push(0x02);
+        assert!(read_u64(&over).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_u64(v: u64) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (back, n) = read_u64(&buf).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_round_trip_i64(v: i64) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (back, _) = read_i64(&buf).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn prop_zigzag_small_magnitudes_stay_small(v in -1000i64..1000) {
+            prop_assert!(zigzag_encode(v) <= 2000);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Bit-granular writer and reader.
+//!
+//! Bits are packed most-significant-bit first within each byte, matching
+//! the layout used by the Gorilla paper and the Prometheus XOR chunk.
+
+use tu_common::{Error, Result};
+
+/// Appends bits to a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final byte (0 means byte-aligned).
+    tail_bits: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            tail_bits: 0,
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.tail_bits == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.tail_bits as usize
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.tail_bits == 0 {
+            self.buf.push(0);
+            self.tail_bits = 0;
+        }
+        let last = self.buf.last_mut().expect("pushed above or existing");
+        if bit {
+            *last |= 1 << (7 - self.tail_bits);
+        }
+        self.tail_bits = (self.tail_bits + 1) % 8;
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Consumes the writer, returning the packed bytes (final byte padded
+    /// with zero bits).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrowed view of the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads bits from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit to read, as an absolute bit index.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Bits remaining in the stream (including padding bits of the final
+    /// byte — framing is the caller's job, via sample counts).
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(Error::corruption("bitstream exhausted"));
+        }
+        let bit = (self.buf[byte] >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits into the low bits of a u64, most significant first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u8) -> Result<u64> {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        for _ in 0..n {
+            out = (out << 1) | self.read_bit()? as u64;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, false, true, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multibit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn zero_width_read_is_zero() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_values_round_trip(values in proptest::collection::vec((any::<u64>(), 1u8..=64), 0..50)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                w.write_bits(masked, n);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Timeseries codecs for TimeUnion.
+//!
+//! * [`bitstream`] — bit-granular writer/reader the chunk codecs build on.
+//! * [`gorilla`] — Facebook Gorilla compression (delta-of-delta timestamps,
+//!   XOR'd float values) for individual-timeseries chunks (§2.2).
+//! * [`nullxor`] — the paper's extension of Gorilla XOR with an extra
+//!   control bit for NULL values, used by group value columns, plus the
+//!   group chunk format with one shared timestamp column (§3.1, Figure 7).
+//! * [`snappy`] — a from-scratch implementation of the Snappy block format
+//!   used to compress SSTable data blocks (Table 3 attributes part of
+//!   TimeUnion's data-size win to it).
+//! * [`crc`] — CRC32C checksums guarding every persisted block.
+
+pub mod bitstream;
+pub mod crc;
+pub mod gorilla;
+pub mod nullxor;
+pub mod snappy;

@@ -1,0 +1,203 @@
+//! The grouping cost model of §3.1 (Table 1, Equations 1–6).
+//!
+//! Backs the `figures grouping-analysis` experiment and the guidance the
+//! paper gives users: grouping saves index space when
+//! `S_g > (T_u/T_g · S_p + S_t) / (S_p + S_t)`, and wins long-range
+//! queries when the target series collapse into fewer groups.
+
+/// Parameters of the grouping analysis (Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupingModel {
+    /// `N` — number of timeseries.
+    pub n: f64,
+    /// `T` — average tags per timeseries.
+    pub t: f64,
+    /// `S_p` — bytes per posting-list entry.
+    pub s_p: f64,
+    /// `S_t` — bytes per tag.
+    pub s_t: f64,
+    /// `S_g` — average series per group.
+    pub s_g: f64,
+    /// `T_g` — average group tags per group.
+    pub t_g: f64,
+    /// `T_u` — average unique tags per group (after dedup).
+    pub t_u: f64,
+}
+
+impl GroupingModel {
+    /// The TSBS DevOps constants quoted in §3.1: `S_g = 101, T_u = 118,
+    /// T_g = 1, S_p = 8, S_t = 15`. `T` for DevOps hosts is ~11 tags
+    /// (10 host tags + the metric name tag).
+    pub fn tsbs_devops(n: f64) -> Self {
+        GroupingModel {
+            n,
+            t: 11.0,
+            s_p: 8.0,
+            s_t: 15.0,
+            s_g: 101.0,
+            t_g: 1.0,
+            t_u: 118.0,
+        }
+    }
+
+    /// Equation 1: index cost without grouping.
+    pub fn cost_without_grouping(&self) -> f64 {
+        self.n * self.t * (self.s_p + self.s_t)
+    }
+
+    /// Equation 2: index cost with grouping.
+    pub fn cost_with_grouping(&self) -> f64 {
+        let groups = self.n / self.s_g;
+        let postings = groups * self.t_u * self.s_p + (self.t - self.t_g) * self.n * self.s_p;
+        let tags = groups * self.t_g * self.s_t + (self.t - self.t_g) * self.n * self.s_t;
+        postings + tags
+    }
+
+    /// The paper's break-even condition on group size: grouping saves
+    /// index space when `S_g` exceeds this threshold.
+    pub fn break_even_group_size(&self) -> f64 {
+        ((self.t_u / self.t_g) * self.s_p + self.s_t) / (self.s_p + self.s_t)
+    }
+}
+
+/// Query cost parameters (Equations 3–6).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryCostModel {
+    /// `Cost_EBS` — seconds per byte read from fast storage.
+    pub cost_ebs_per_byte: f64,
+    /// `Cost_S3` — seconds per Get request to slow storage.
+    pub cost_s3_per_get: f64,
+    /// `P` — time partitions covered by the query.
+    pub partitions: f64,
+    /// `S_data` — raw bytes per series per partition.
+    pub s_data: f64,
+    /// `S_block` — SSTable data block size (4096).
+    pub s_block: f64,
+    /// `L` — matched individual series.
+    pub located_series: f64,
+    /// `G` — matched groups.
+    pub located_groups: f64,
+    /// `S_g` — series per group.
+    pub group_size: f64,
+    /// `R_1` — compression ratio without grouping.
+    pub r1: f64,
+    /// `R_2` — compression ratio with grouping.
+    pub r2: f64,
+}
+
+impl QueryCostModel {
+    /// Equation 3: ungrouped query over fast storage.
+    pub fn ungrouped_fast(&self) -> f64 {
+        self.located_series * self.partitions * (self.s_data / self.r1) * self.cost_ebs_per_byte
+    }
+
+    /// Equation 4: ungrouped query over slow storage.
+    pub fn ungrouped_slow(&self) -> f64 {
+        self.located_series
+            * self.partitions
+            * (self.s_data / (self.s_block * self.r1)).ceil()
+            * self.cost_s3_per_get
+    }
+
+    /// Equation 5: grouped query over fast storage.
+    pub fn grouped_fast(&self) -> f64 {
+        self.located_groups
+            * self.partitions
+            * (self.s_data * self.group_size / self.r2)
+            * self.cost_ebs_per_byte
+    }
+
+    /// Equation 6: grouped query over slow storage.
+    pub fn grouped_slow(&self) -> f64 {
+        self.located_groups
+            * self.partitions
+            * (self.s_data * self.group_size / (self.s_block * self.r2)).ceil()
+            * self.cost_s3_per_get
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsbs_devops_grouping_saves_index_space() {
+        // §3.1: the break-even holds for the DevOps dataset.
+        let m = GroupingModel::tsbs_devops(1_000_000.0);
+        assert!(m.s_g > m.break_even_group_size());
+        assert!(m.cost_with_grouping() < m.cost_without_grouping());
+    }
+
+    #[test]
+    fn tiny_groups_do_not_pay_off() {
+        let m = GroupingModel {
+            s_g: 2.0,
+            t_u: 118.0,
+            t_g: 1.0,
+            ..GroupingModel::tsbs_devops(1_000_000.0)
+        };
+        assert!(m.s_g < m.break_even_group_size());
+        assert!(m.cost_with_grouping() > m.cost_without_grouping());
+    }
+
+    #[test]
+    fn break_even_matches_direct_comparison() {
+        // Sweep group sizes; the sign of the cost difference must flip
+        // exactly at the break-even threshold.
+        let base = GroupingModel::tsbs_devops(100_000.0);
+        let be = base.break_even_group_size();
+        for sg in [be * 0.5, be * 0.9, be * 1.1, be * 2.0] {
+            let m = GroupingModel { s_g: sg, ..base };
+            let saves = m.cost_with_grouping() < m.cost_without_grouping();
+            assert_eq!(saves, sg > be, "at S_g = {sg}");
+        }
+    }
+
+    fn paper_query_model(located_series: f64, located_groups: f64) -> QueryCostModel {
+        QueryCostModel {
+            cost_ebs_per_byte: 1.0 / (250.0 * 1024.0 * 1024.0),
+            cost_s3_per_get: 0.02,
+            partitions: 12.0,
+            s_data: 16.0 * 240.0, // 2h at 30s, 16B raw per sample
+            s_block: 4096.0,
+            located_series,
+            located_groups,
+            group_size: 101.0,
+            r1: 10.0, // §3.1: 10x individual vs 35x grouped in TSBS
+            r2: 35.0,
+            }
+    }
+
+    #[test]
+    fn long_range_slow_queries_favour_grouping_when_g_lt_l() {
+        // TSBS 5-1-24: 5 metrics of 1 host -> L=5 series but G=1 group.
+        let m = paper_query_model(5.0, 1.0);
+        assert!(
+            m.grouped_slow() < m.ungrouped_slow(),
+            "grouped {} vs ungrouped {}",
+            m.grouped_slow(),
+            m.ungrouped_slow()
+        );
+    }
+
+    #[test]
+    fn single_series_slow_queries_favour_ungrouped() {
+        // TSBS 1-1-24: L=1 and G=1 -> the group must still fetch the whole
+        // group's data, ceil() makes it at least as expensive.
+        let m = paper_query_model(1.0, 1.0);
+        assert!(m.grouped_slow() >= m.ungrouped_slow());
+    }
+
+    #[test]
+    fn fast_tier_queries_scale_with_data_volume() {
+        // Equations 3/5: on EBS the cost tracks bytes, so grouping loses
+        // whenever it reads more data than the matched series alone.
+        let m = paper_query_model(5.0, 1.0);
+        let grouped_bytes = m.group_size / m.r2;
+        let ungrouped_bytes = 5.0 / m.r1;
+        assert_eq!(
+            m.grouped_fast() > m.ungrouped_fast(),
+            grouped_bytes > ungrouped_bytes
+        );
+    }
+}

@@ -1,0 +1,1378 @@
+//! The TimeUnion engine: open/put/get/retention/recovery (§3.4).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use tu_cloud::cost::LatencyMode;
+use tu_cloud::StorageEnv;
+use tu_common::clock::{system_clock, SharedClock};
+use tu_common::types::is_group_id;
+use tu_common::{
+    Error, GroupId, Labels, Result, Sample, SeriesId, SeriesRef, Timestamp, Value, GROUP_ID_FLAG,
+};
+use tu_compress::{gorilla, nullxor};
+use tu_index::{InvertedIndex, Selector};
+use tu_lsm::wal::{Wal, WalRecord};
+use tu_lsm::{TimeTree, TreeOptions};
+use tu_mmap::pagecache::PageCache;
+use tu_mmap::ChunkArena;
+
+use crate::catalog::{Catalog, CatalogRecord};
+use crate::group::{self, GroupInsert, GroupObject};
+use crate::model;
+use crate::query::{QueryResult, SampleMerger, SeriesResult};
+use crate::series::{self, HeadInsert, SeriesObject};
+
+/// Engine configuration.
+#[derive(Clone)]
+pub struct Options {
+    /// Samples batched per in-memory chunk before sealing (paper: 32).
+    pub chunk_samples: usize,
+    /// Time-partitioned LSM-tree options.
+    pub tree: TreeOptions,
+    /// Trie file-array segmentation (paper: one million slots per file).
+    pub index_slots_per_segment: usize,
+    /// Page-cache budget for all file-backed memory structures.
+    pub page_cache_bytes: usize,
+    /// Chunk slots per arena file.
+    pub arena_chunks_per_file: u32,
+    /// Retention window; samples older than `now - retention` are purged
+    /// by [`TimeUnion::apply_retention`]. `None` keeps everything.
+    pub retention_ms: Option<i64>,
+    /// Flush the WAL after this many buffered records (group commit).
+    pub wal_batch_records: usize,
+    /// Purge the WAL when it exceeds this size.
+    pub wal_purge_bytes: u64,
+    /// Storage latency modelling for the cloud tiers.
+    pub latency: LatencyMode,
+    /// Latency model of the fast tier (default: EBS-like).
+    pub block_model: tu_cloud::cost::LatencyModel,
+    /// Latency model of the slow tier (default: S3-like; the EBS-only
+    /// evaluation of Figure 17 passes an EBS model here).
+    pub object_model: tu_cloud::cost::LatencyModel,
+    /// Run `maintain` inline whenever the memtable seals. Disable when an
+    /// external worker thread drives maintenance.
+    pub inline_maintenance: bool,
+    /// Clock used for retention decisions.
+    pub clock: SharedClock,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            chunk_samples: 32,
+            tree: TreeOptions::default(),
+            index_slots_per_segment: 1 << 20,
+            page_cache_bytes: 256 << 20,
+            arena_chunks_per_file: 1 << 16,
+            retention_ms: None,
+            wal_batch_records: 1024,
+            wal_purge_bytes: 64 << 20,
+            latency: LatencyMode::Off,
+            block_model: tu_cloud::cost::LatencyModel::ebs(),
+            object_model: tu_cloud::cost::LatencyModel::s3(),
+            inline_maintenance: true,
+            clock: system_clock(),
+        }
+    }
+}
+
+/// Memory breakdown for the Figure 3b/13d/16 experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStats {
+    /// Postings lists (heap).
+    pub postings_bytes: usize,
+    /// Series + group memory objects (heap).
+    pub objects_bytes: usize,
+    /// Resident pages of the file-backed structures (trie + head chunks).
+    pub page_cache_bytes: usize,
+    /// MemTable payload waiting to be flushed.
+    pub memtable_bytes: usize,
+    /// Parsed SSTable blocks cached in memory.
+    pub block_cache_bytes: usize,
+}
+
+impl MemoryStats {
+    pub fn total(&self) -> usize {
+        self.postings_bytes
+            + self.objects_bytes
+            + self.page_cache_bytes
+            + self.memtable_bytes
+            + self.block_cache_bytes
+    }
+}
+
+struct PendingCheckpoint {
+    stream: u64,
+    seq: u64,
+    epoch: u64,
+}
+
+/// The TimeUnion timeseries engine.
+pub struct TimeUnion {
+    dir: PathBuf,
+    opts: Options,
+    env: StorageEnv,
+    index: InvertedIndex,
+    tree: TimeTree,
+    wal: Wal,
+    catalog: Catalog,
+    page_cache: Arc<PageCache>,
+    series_arena: ChunkArena,
+    group_ts_arena: ChunkArena,
+    group_val_arena: ChunkArena,
+    series: RwLock<HashMap<SeriesId, Arc<Mutex<SeriesObject>>>>,
+    by_labels: RwLock<HashMap<Vec<u8>, SeriesId>>,
+    groups: RwLock<HashMap<GroupId, Arc<Mutex<GroupObject>>>>,
+    group_by_tags: RwLock<HashMap<Vec<u8>, GroupId>>,
+    next_series: AtomicU64,
+    next_group: AtomicU64,
+    /// Longest time span observed in any sealed chunk; queries extend
+    /// their range start by this much to catch straddling chunks.
+    max_chunk_span: AtomicI64,
+    pending_ckpts: Mutex<Vec<PendingCheckpoint>>,
+    wal_unflushed: AtomicU64,
+    replaying: std::sync::atomic::AtomicBool,
+    worker: Mutex<Option<Worker>>,
+}
+
+struct Worker {
+    stop: crossbeam::channel::Sender<()>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl TimeUnion {
+    /// Opens (creating or recovering) a TimeUnion instance rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, opts: Options) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let env = StorageEnv::open_with_models(
+            &dir,
+            opts.latency,
+            opts.block_model,
+            opts.object_model,
+        )?;
+        let page_cache = PageCache::new(opts.page_cache_bytes);
+        let index = InvertedIndex::open(
+            page_cache.clone(),
+            dir.join("index"),
+            opts.index_slots_per_segment,
+        )?;
+        let tree = TimeTree::open(env.clone(), opts.tree.clone())?;
+        let wal = Wal::open(env.block.clone(), "wal/engine.log");
+        let catalog = Catalog::open(env.block.clone(), "catalog/series.cat");
+        // Head chunks are rebuilt from the WAL; reset the arenas so handles
+        // can be reassigned deterministically.
+        for sub in ["heads/series", "heads/group-ts", "heads/group-val"] {
+            let p = dir.join(sub);
+            if p.exists() {
+                std::fs::remove_dir_all(&p)?;
+            }
+        }
+        let series_arena = ChunkArena::open(
+            page_cache.clone(),
+            dir.join("heads/series"),
+            series::slot_size(opts.chunk_samples),
+            opts.arena_chunks_per_file,
+        )?;
+        let group_ts_arena = ChunkArena::open(
+            page_cache.clone(),
+            dir.join("heads/group-ts"),
+            group::ts_slot_size(opts.chunk_samples),
+            opts.arena_chunks_per_file,
+        )?;
+        let group_val_arena = ChunkArena::open(
+            page_cache.clone(),
+            dir.join("heads/group-val"),
+            group::val_slot_size(opts.chunk_samples),
+            opts.arena_chunks_per_file,
+        )?;
+        let engine = TimeUnion {
+            dir,
+            env,
+            index,
+            tree,
+            wal,
+            catalog,
+            page_cache,
+            series_arena,
+            group_ts_arena,
+            group_val_arena,
+            series: RwLock::new(HashMap::new()),
+            by_labels: RwLock::new(HashMap::new()),
+            groups: RwLock::new(HashMap::new()),
+            group_by_tags: RwLock::new(HashMap::new()),
+            next_series: AtomicU64::new(1),
+            next_group: AtomicU64::new(1),
+            max_chunk_span: AtomicI64::new(0),
+            pending_ckpts: Mutex::new(Vec::new()),
+            wal_unflushed: AtomicU64::new(0),
+            replaying: std::sync::atomic::AtomicBool::new(false),
+            worker: Mutex::new(None),
+            opts,
+        };
+        engine.recover()?;
+        Ok(engine)
+    }
+
+    /// Spawns the background maintenance worker: flushes, compactions, WAL
+    /// checkpoints, and retention run every `interval` off the insert
+    /// path. Pair with `Options::inline_maintenance = false`. Stopped by
+    /// [`TimeUnion::stop_background`] or on drop.
+    pub fn start_background(self: &Arc<Self>, interval: std::time::Duration) {
+        let mut worker = self.worker.lock();
+        if worker.is_some() {
+            return;
+        }
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let weak = Arc::downgrade(self);
+        let join = std::thread::Builder::new()
+            .name("timeunion-maintenance".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                }
+                let Some(engine) = weak.upgrade() else {
+                    return;
+                };
+                // Maintenance failures must not kill the worker; the next
+                // foreground sync() will surface persistent errors.
+                let _ = engine.maintain();
+                let _ = engine.apply_retention();
+            })
+            .expect("spawn maintenance worker");
+        *worker = Some(Worker { stop: stop_tx, join });
+    }
+
+    /// Stops the background worker, if running, and waits for it.
+    pub fn stop_background(&self) {
+        if let Some(w) = self.worker.lock().take() {
+            let _ = w.stop.send(());
+            let _ = w.join.join();
+        }
+    }
+
+    // --- recovery -------------------------------------------------------------
+
+    fn recover(&self) -> Result<()> {
+        // 1. Catalog: rebuild identifier maps, memory objects, and index
+        //    postings (idempotent on the persisted trie).
+        for record in self.catalog.replay()? {
+            match record {
+                CatalogRecord::Series { id, labels } => {
+                    let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
+                    self.index.add(&labels, id)?;
+                    self.by_labels.write().insert(labels.to_bytes(), id);
+                    self.series.write().insert(id, Arc::new(Mutex::new(obj)));
+                    self.next_series.fetch_max(id + 1, Ordering::Relaxed);
+                }
+                CatalogRecord::Group { gid, group_tags } => {
+                    let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
+                    self.group_by_tags
+                        .write()
+                        .insert(group_tags.to_bytes(), gid);
+                    self.groups.write().insert(gid, Arc::new(Mutex::new(obj)));
+                    self.next_group
+                        .fetch_max((gid & !GROUP_ID_FLAG) + 1, Ordering::Relaxed);
+                }
+                CatalogRecord::Member {
+                    gid,
+                    slot,
+                    unique_tags,
+                } => {
+                    let groups = self.groups.read();
+                    let obj = groups
+                        .get(&gid)
+                        .ok_or_else(|| Error::corruption("catalog member before its group"))?;
+                    let mut g = obj.lock();
+                    let got = g.add_member(&self.group_val_arena, unique_tags.clone())?;
+                    if got != slot {
+                        return Err(Error::corruption(
+                            "catalog member slots out of order".to_string(),
+                        ));
+                    }
+                    self.index.add(&g.group_tags.merge(&unique_tags), gid)?;
+                }
+            }
+        }
+        // 2. Engine meta (monotonic hints).
+        if let Ok(meta) = self.env.block.read_file("engine.meta") {
+            if meta.len() == 8 {
+                let span = i64::from_le_bytes(meta.try_into().expect("8 bytes"));
+                self.max_chunk_span.fetch_max(span, Ordering::Relaxed);
+            }
+        }
+        // 3. WAL: reapply records newer than their stream's checkpoint.
+        let records = self.wal.replay()?;
+        let mut watermark: HashMap<u64, u64> = HashMap::new();
+        for r in &records {
+            if r.checkpoint {
+                let w = watermark.entry(r.stream).or_insert(0);
+                *w = (*w).max(r.seq);
+            }
+        }
+        self.replaying.store(true, Ordering::SeqCst);
+        let result = (|| -> Result<()> {
+            for r in &records {
+                if r.checkpoint || watermark.get(&r.stream).is_some_and(|&w| r.seq <= w) {
+                    continue;
+                }
+                if is_group_id(r.stream) {
+                    let Some((t, entries)) = decode_group_row(&r.payload) else {
+                        continue; // records for members lost to a torn catalog
+                    };
+                    if self.groups.read().contains_key(&r.stream) {
+                        let valid = {
+                            let groups = self.groups.read();
+                            let g = groups[&r.stream].lock();
+                            entries
+                                .iter()
+                                .all(|(slot, _)| (*slot as usize) < g.member_count())
+                        };
+                        if valid {
+                            self.apply_group_row(r.stream, t, &entries, r.seq)?;
+                        }
+                    }
+                } else if let Some((t, v)) = decode_sample(&r.payload) {
+                    if self.series.read().contains_key(&r.stream) {
+                        self.apply_sample(r.stream, t, v, r.seq)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.replaying.store(false, Ordering::SeqCst);
+        result
+    }
+
+    // --- series inserts ---------------------------------------------------------
+
+    /// Slow-path insert (§3.4): resolves or creates the series by its
+    /// tags, returning its ID for subsequent fast-path inserts.
+    pub fn put(&self, labels: &Labels, t: Timestamp, v: Value) -> Result<SeriesId> {
+        if labels.is_empty() {
+            return Err(Error::invalid("a timeseries needs at least one tag"));
+        }
+        let id = self.get_or_create_series(labels)?;
+        self.put_by_id(id, t, v)?;
+        Ok(id)
+    }
+
+    /// Fast-path insert by series ID (§3.4), skipping tag comparison.
+    pub fn put_by_id(&self, id: SeriesId, t: Timestamp, v: Value) -> Result<()> {
+        let seq = {
+            let series = self.series.read();
+            let obj = series
+                .get(&id)
+                .ok_or_else(|| Error::not_found(format!("series {id}")))?
+                .clone();
+            drop(series);
+            let mut obj = obj.lock();
+            obj.seq += 1;
+            let seq = obj.seq;
+            self.log(WalRecord {
+                stream: id,
+                seq,
+                checkpoint: false,
+                payload: encode_sample(t, v),
+            })?;
+            let outcome = obj.insert(&self.series_arena, t, v, self.opts.chunk_samples)?;
+            drop(obj);
+            self.handle_series_outcome(id, t, v, seq, outcome)?;
+            seq
+        };
+        let _ = seq;
+        Ok(())
+    }
+
+    fn apply_sample(&self, id: SeriesId, t: Timestamp, v: Value, seq: u64) -> Result<()> {
+        let obj = self
+            .series
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("series {id}")))?;
+        let mut o = obj.lock();
+        o.seq = o.seq.max(seq);
+        let outcome = o.insert(&self.series_arena, t, v, self.opts.chunk_samples)?;
+        drop(o);
+        self.handle_series_outcome(id, t, v, seq, outcome)
+    }
+
+    fn handle_series_outcome(
+        &self,
+        id: SeriesId,
+        t: Timestamp,
+        v: Value,
+        seq: u64,
+        outcome: HeadInsert,
+    ) -> Result<()> {
+        match outcome {
+            HeadInsert::Buffered => Ok(()),
+            HeadInsert::Sealed {
+                first_ts,
+                last_ts,
+                chunk,
+            } => self.flush_chunk(id, first_ts, last_ts, chunk, seq),
+            HeadInsert::OlderThanHead => {
+                // Early flush (§3.1 case 4): a one-sample chunk goes to the
+                // tree's corresponding time partition directly.
+                let chunk = gorilla::compress_chunk(&[Sample::new(t, v)])?;
+                self.flush_chunk(id, t, t, chunk, seq)
+            }
+        }
+    }
+
+    fn flush_chunk(
+        &self,
+        stream: u64,
+        first_ts: Timestamp,
+        last_ts: Timestamp,
+        chunk: Vec<u8>,
+        seq: u64,
+    ) -> Result<()> {
+        self.max_chunk_span
+            .fetch_max(last_ts - first_ts, Ordering::Relaxed);
+        let epoch = self.tree.seal_epoch();
+        let sealed = self.tree.put(stream, first_ts, chunk);
+        self.pending_ckpts.lock().push(PendingCheckpoint {
+            stream,
+            seq,
+            epoch,
+        });
+        if sealed && self.opts.inline_maintenance && !self.replaying.load(Ordering::SeqCst) {
+            self.maintain()?;
+        }
+        Ok(())
+    }
+
+    fn get_or_create_series(&self, labels: &Labels) -> Result<SeriesId> {
+        let key = labels.to_bytes();
+        if let Some(&id) = self.by_labels.read().get(&key) {
+            return Ok(id);
+        }
+        // Create with the map write-locked to serialize racers.
+        let mut by_labels = self.by_labels.write();
+        if let Some(&id) = by_labels.get(&key) {
+            return Ok(id);
+        }
+        let id = self.next_series.fetch_add(1, Ordering::Relaxed);
+        let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
+        self.series.write().insert(id, Arc::new(Mutex::new(obj)));
+        by_labels.insert(key, id);
+        drop(by_labels);
+        self.index.add(labels, id)?;
+        self.catalog.append(&CatalogRecord::Series {
+            id,
+            labels: labels.clone(),
+        });
+        Ok(id)
+    }
+
+    // --- group inserts -----------------------------------------------------------
+
+    /// Slow-path group insert (§3.4): resolves or creates the group and
+    /// its members, inserts one shared-timestamp row, and returns the
+    /// group ID plus each series' slot index for the fast path.
+    ///
+    /// `member_tags[i]` may be the series' full tag set (group tags are
+    /// extracted per Figure 6) or just its unique tags.
+    pub fn put_group(
+        &self,
+        group_tags: &Labels,
+        member_tags: &[Labels],
+        t: Timestamp,
+        values: &[Value],
+    ) -> Result<(GroupId, Vec<SeriesRef>)> {
+        if member_tags.len() != values.len() {
+            return Err(Error::invalid(
+                "member tag sets and values must have equal length",
+            ));
+        }
+        if group_tags.is_empty() {
+            return Err(Error::invalid("a group needs at least one group tag"));
+        }
+        let gid = self.get_or_create_group(group_tags)?;
+        let obj = self.groups.read().get(&gid).cloned().expect("just created");
+        let mut g = obj.lock();
+        let mut refs = Vec::with_capacity(member_tags.len());
+        for tags in member_tags {
+            let unique = match model::to_grouped(tags, group_tags) {
+                Ok(grouped) => grouped.unique_tags,
+                // Tags that don't carry the group tags are already unique.
+                Err(_) => tags.clone(),
+            };
+            let slot = match g.member_slot(&unique) {
+                Some(slot) => slot,
+                None => {
+                    let slot = g.add_member(&self.group_val_arena, unique.clone())?;
+                    self.index.add(&group_tags.merge(&unique), gid)?;
+                    self.catalog.append(&CatalogRecord::Member {
+                        gid,
+                        slot,
+                        unique_tags: unique,
+                    });
+                    slot
+                }
+            };
+            refs.push(slot);
+        }
+        let entries: Vec<(SeriesRef, Value)> =
+            refs.iter().copied().zip(values.iter().copied()).collect();
+        g.seq += 1;
+        let seq = g.seq;
+        self.log(WalRecord {
+            stream: gid,
+            seq,
+            checkpoint: false,
+            payload: encode_group_row(t, &entries),
+        })?;
+        let member_count = g.member_count();
+        let outcome = g.insert_row(
+            &self.group_ts_arena,
+            &self.group_val_arena,
+            t,
+            &entries,
+            self.opts.chunk_samples,
+        )?;
+        drop(g);
+        self.handle_group_outcome(gid, t, &entries, member_count, seq, outcome)?;
+        Ok((gid, refs))
+    }
+
+    /// Fast-path group insert by group ID and member slots (§3.4).
+    pub fn put_group_fast(
+        &self,
+        gid: GroupId,
+        refs: &[SeriesRef],
+        t: Timestamp,
+        values: &[Value],
+    ) -> Result<()> {
+        if refs.len() != values.len() {
+            return Err(Error::invalid("refs and values must have equal length"));
+        }
+        let entries: Vec<(SeriesRef, Value)> =
+            refs.iter().copied().zip(values.iter().copied()).collect();
+        let obj = self
+            .groups
+            .read()
+            .get(&gid)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("group {gid}")))?;
+        let mut g = obj.lock();
+        g.seq += 1;
+        let seq = g.seq;
+        self.log(WalRecord {
+            stream: gid,
+            seq,
+            checkpoint: false,
+            payload: encode_group_row(t, &entries),
+        })?;
+        let member_count = g.member_count();
+        let outcome = g.insert_row(
+            &self.group_ts_arena,
+            &self.group_val_arena,
+            t,
+            &entries,
+            self.opts.chunk_samples,
+        )?;
+        drop(g);
+        self.handle_group_outcome(gid, t, &entries, member_count, seq, outcome)
+    }
+
+    fn apply_group_row(
+        &self,
+        gid: GroupId,
+        t: Timestamp,
+        entries: &[(SeriesRef, Value)],
+        seq: u64,
+    ) -> Result<()> {
+        let obj = self
+            .groups
+            .read()
+            .get(&gid)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("group {gid}")))?;
+        let mut g = obj.lock();
+        g.seq = g.seq.max(seq);
+        let member_count = g.member_count();
+        let outcome = g.insert_row(
+            &self.group_ts_arena,
+            &self.group_val_arena,
+            t,
+            entries,
+            self.opts.chunk_samples,
+        )?;
+        drop(g);
+        self.handle_group_outcome(gid, t, entries, member_count, seq, outcome)
+    }
+
+    fn handle_group_outcome(
+        &self,
+        gid: GroupId,
+        t: Timestamp,
+        entries: &[(SeriesRef, Value)],
+        member_count: usize,
+        seq: u64,
+        outcome: GroupInsert,
+    ) -> Result<()> {
+        match outcome {
+            GroupInsert::Buffered => Ok(()),
+            GroupInsert::Sealed {
+                first_ts,
+                last_ts,
+                chunk,
+            } => self.flush_chunk(gid, first_ts, last_ts, chunk, seq),
+            GroupInsert::OlderThanHead => {
+                // One-row group chunk straight into the tree.
+                let mut enc = nullxor::GroupChunkEncoder::new(member_count);
+                let mut row = vec![None; member_count];
+                for (slot, v) in entries {
+                    row[*slot as usize] = Some(*v);
+                }
+                enc.append_row(t, &row)?;
+                self.flush_chunk(gid, t, t, enc.finish(), seq)
+            }
+        }
+    }
+
+    fn get_or_create_group(&self, group_tags: &Labels) -> Result<GroupId> {
+        let key = group_tags.to_bytes();
+        if let Some(&gid) = self.group_by_tags.read().get(&key) {
+            return Ok(gid);
+        }
+        let mut by_tags = self.group_by_tags.write();
+        if let Some(&gid) = by_tags.get(&key) {
+            return Ok(gid);
+        }
+        let gid = self.next_group.fetch_add(1, Ordering::Relaxed) | GROUP_ID_FLAG;
+        let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
+        self.groups.write().insert(gid, Arc::new(Mutex::new(obj)));
+        by_tags.insert(key, gid);
+        drop(by_tags);
+        // Group tags are indexed under the group ID so selectors on shared
+        // tags resolve to one postings entry (Figure 5).
+        self.index.add(group_tags, gid)?;
+        self.catalog.append(&CatalogRecord::Group {
+            gid,
+            group_tags: group_tags.clone(),
+        });
+        Ok(gid)
+    }
+
+    // --- logging ----------------------------------------------------------------
+
+    fn log(&self, record: WalRecord) -> Result<()> {
+        if self.replaying.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.wal.append(&record);
+        let n = self.wal_unflushed.fetch_add(1, Ordering::Relaxed) + 1;
+        if n as usize >= self.opts.wal_batch_records {
+            self.wal_unflushed.store(0, Ordering::Relaxed);
+            self.wal.flush()?;
+        }
+        Ok(())
+    }
+
+    // --- maintenance --------------------------------------------------------------
+
+    /// Runs background work to quiescence: tree flush/compaction, WAL
+    /// checkpoints and purging, catalog/meta persistence.
+    pub fn maintain(&self) -> Result<()> {
+        self.tree.maintain()?;
+        // Emit checkpoints for chunks whose memtable reached L0.
+        let flushed = self.tree.flushed_epoch();
+        let ready: Vec<PendingCheckpoint> = {
+            let mut pending = self.pending_ckpts.lock();
+            let (ready, keep): (Vec<_>, Vec<_>) =
+                pending.drain(..).partition(|c| c.epoch < flushed);
+            *pending = keep;
+            ready
+        };
+        if !ready.is_empty() && !self.replaying.load(Ordering::SeqCst) {
+            for c in &ready {
+                self.wal.append(&WalRecord {
+                    stream: c.stream,
+                    seq: c.seq,
+                    checkpoint: true,
+                    payload: Vec::new(),
+                });
+            }
+            self.wal.flush()?;
+            if self.wal.len() > self.opts.wal_purge_bytes {
+                self.wal.purge()?;
+            }
+        }
+        self.catalog.flush()?;
+        self.env.block.write_file(
+            "engine.meta",
+            &self.max_chunk_span.load(Ordering::Relaxed).to_le_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Seals every open head chunk into the tree and drains all levels of
+    /// fast storage down to the slow tier. Used by long-range-query
+    /// benchmarks that want the paper's "after all pending samples are
+    /// flushed" state.
+    pub fn flush_all(&self) -> Result<()> {
+        for obj in self.series.read().values() {
+            let mut o = obj.lock();
+            let seq = o.seq;
+            if let Some((first, last, chunk)) = o.seal(&self.series_arena)? {
+                let id = o.id;
+                drop(o);
+                self.flush_chunk(id, first, last, chunk, seq)?;
+            }
+        }
+        for obj in self.groups.read().values() {
+            let mut g = obj.lock();
+            let seq = g.seq;
+            if let Some((first, last, chunk)) =
+                g.seal(&self.group_ts_arena, &self.group_val_arena)?
+            {
+                let gid = g.gid;
+                drop(g);
+                self.flush_chunk(gid, first, last, chunk, seq)?;
+            }
+        }
+        self.tree.flush_all_to_slow()?;
+        self.maintain()
+    }
+
+    /// Flushes logs/indexes; call before dropping for durability.
+    pub fn sync(&self) -> Result<()> {
+        self.wal.flush()?;
+        self.catalog.flush()?;
+        self.index.sync()?;
+        self.maintain()
+    }
+
+    /// Applies the retention policy (§3.3 "Data retention"): drops tree
+    /// partitions past the watermark and purges memory objects whose
+    /// newest sample is older than it. Returns `(partitions, objects)`
+    /// removed.
+    pub fn apply_retention(&self) -> Result<(usize, usize)> {
+        let Some(retention) = self.opts.retention_ms else {
+            return Ok((0, 0));
+        };
+        let watermark = self.opts.clock.now_ms() - retention;
+        let partitions = self.tree.purge_before(watermark)?;
+        let mut objects = 0;
+        // Series objects older than the watermark.
+        let stale: Vec<SeriesId> = self
+            .series
+            .read()
+            .iter()
+            .filter(|(_, o)| o.lock().last_ts < watermark)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            let removed = self.series.write().remove(&id);
+            if let Some(obj) = removed {
+                let obj = Arc::try_unwrap(obj)
+                    .map_err(|_| Error::Closed("series busy during retention".into()))?
+                    .into_inner();
+                self.by_labels.write().remove(&obj.labels.to_bytes());
+                self.index.remove(&obj.labels, id)?;
+                obj.release(&self.series_arena)?;
+                objects += 1;
+            }
+        }
+        let stale_groups: Vec<GroupId> = self
+            .groups
+            .read()
+            .iter()
+            .filter(|(_, o)| o.lock().last_ts < watermark)
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in stale_groups {
+            let removed = self.groups.write().remove(&gid);
+            if let Some(obj) = removed {
+                let obj = Arc::try_unwrap(obj)
+                    .map_err(|_| Error::Closed("group busy during retention".into()))?
+                    .into_inner();
+                self.group_by_tags
+                    .write()
+                    .remove(&obj.group_tags.to_bytes());
+                self.index.remove(&obj.group_tags, gid)?;
+                for (_, unique) in obj.members() {
+                    self.index.remove(&obj.group_tags.merge(unique), gid)?;
+                }
+                obj.release(&self.group_ts_arena, &self.group_val_arena)?;
+                objects += 1;
+            }
+        }
+        Ok((partitions, objects))
+    }
+
+    // --- queries -------------------------------------------------------------------
+
+    /// Get (§3.4): selects series and groups by tag selectors and returns
+    /// each matched timeseries' samples in `[start, end)`.
+    pub fn query(
+        &self,
+        selectors: &[Selector],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<QueryResult> {
+        let ids = self.index.select(selectors)?;
+        let mut out: QueryResult = Vec::new();
+        for id in ids {
+            if is_group_id(id) {
+                self.query_group(id, selectors, start, end, &mut out)?;
+            } else {
+                self.query_series(id, start, end, &mut out)?;
+            }
+        }
+        out.sort_by(|a, b| a.labels.to_bytes().cmp(&b.labels.to_bytes()));
+        Ok(out)
+    }
+
+    fn query_slack(&self) -> i64 {
+        self.max_chunk_span.load(Ordering::Relaxed) + 1
+    }
+
+    fn query_series(
+        &self,
+        id: SeriesId,
+        start: Timestamp,
+        end: Timestamp,
+        out: &mut QueryResult,
+    ) -> Result<()> {
+        let Some(obj) = self.series.read().get(&id).cloned() else {
+            return Ok(()); // purged between index lookup and here
+        };
+        let mut merger = SampleMerger::new(start, end);
+        let from = start.saturating_sub(self.query_slack());
+        for (_, chunk) in self.tree.range_chunks(id, from, end)? {
+            merger.offer_all(gorilla::decompress_chunk(&chunk)?);
+        }
+        let o = obj.lock();
+        merger.offer_all(o.head_samples(&self.series_arena)?);
+        let labels = o.labels.clone();
+        drop(o);
+        if !merger.is_empty() {
+            out.push(SeriesResult {
+                id,
+                labels,
+                samples: merger.finish(),
+            });
+        }
+        Ok(())
+    }
+
+    fn query_group(
+        &self,
+        gid: GroupId,
+        selectors: &[Selector],
+        start: Timestamp,
+        end: Timestamp,
+        out: &mut QueryResult,
+    ) -> Result<()> {
+        let Some(obj) = self.groups.read().get(&gid).cloned() else {
+            return Ok(());
+        };
+        // Second-level index: which members match every selector?
+        let (matched, group_tags): (Vec<(SeriesRef, Labels)>, Labels) = {
+            let g = obj.lock();
+            let matched = g
+                .members()
+                .filter_map(|(slot, unique)| {
+                    let full = g.group_tags.merge(unique);
+                    let ok = selectors.iter().all(|sel| {
+                        full.get(&sel.key).is_some_and(|v| sel.matches_value(v))
+                    });
+                    ok.then(|| (slot, full))
+                })
+                .collect();
+            (matched, g.group_tags.clone())
+        };
+        let _ = group_tags;
+        if matched.is_empty() {
+            return Ok(());
+        }
+        let from = start.saturating_sub(self.query_slack());
+        let chunks = self.tree.range_chunks(gid, from, end)?;
+        let mut mergers: Vec<SampleMerger> = matched
+            .iter()
+            .map(|_| SampleMerger::new(start, end))
+            .collect();
+        for (_, chunk) in &chunks {
+            let dec = nullxor::GroupChunkDecoder::new(chunk)?;
+            let ts = dec.decode_timestamps()?;
+            for (mi, (slot, _)) in matched.iter().enumerate() {
+                if (*slot as usize) < dec.columns() {
+                    let col = dec.decode_column(*slot as usize)?;
+                    for (t, v) in ts.iter().zip(col) {
+                        if let Some(v) = v {
+                            mergers[mi].offer(*t, v);
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let g = obj.lock();
+            for (mi, (slot, _)) in matched.iter().enumerate() {
+                for (t, v) in
+                    g.head_samples_of(&self.group_ts_arena, &self.group_val_arena, *slot)?
+                {
+                    mergers[mi].offer(t, v);
+                }
+            }
+        }
+        for ((_, full), merger) in matched.into_iter().zip(mergers) {
+            if !merger.is_empty() {
+                out.push(SeriesResult {
+                    id: gid,
+                    labels: full,
+                    samples: merger.finish(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// All values recorded for a tag key (label-values API).
+    pub fn tag_values(&self, key: &str) -> Result<Vec<String>> {
+        self.index.tag_values(key)
+    }
+
+    // --- observability ---------------------------------------------------------------
+
+    pub fn series_count(&self) -> usize {
+        self.series.read().len()
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.read().len()
+    }
+
+    /// The storage environment (request counters, virtual cost clock).
+    pub fn storage(&self) -> &StorageEnv {
+        &self.env
+    }
+
+    /// The underlying tree's statistics.
+    pub fn tree_stats(&self) -> tu_lsm::tree::TreeStats {
+        self.tree.stats()
+    }
+
+    /// Engine root directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Drops cached data blocks (benchmarking: cold-block measurements).
+    pub fn clear_block_cache(&self) {
+        self.tree.block_cache().clear();
+    }
+
+    /// Memory breakdown for the paper's memory experiments.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let objects_bytes: usize = self
+            .series
+            .read()
+            .values()
+            .map(|o| o.lock().heap_bytes())
+            .sum::<usize>()
+            + self
+                .groups
+                .read()
+                .values()
+                .map(|o| o.lock().heap_bytes())
+                .sum::<usize>();
+        MemoryStats {
+            postings_bytes: self.index.heap_bytes(),
+            objects_bytes,
+            page_cache_bytes: self.page_cache.stats().resident_bytes as usize,
+            memtable_bytes: self.tree.memtable_bytes(),
+            block_cache_bytes: self.tree.block_cache().used_bytes(),
+        }
+    }
+}
+
+impl Drop for TimeUnion {
+    fn drop(&mut self) {
+        self.stop_background();
+    }
+}
+
+// --- WAL payload codecs ------------------------------------------------------
+
+fn encode_sample(t: Timestamp, v: Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&t.to_le_bytes());
+    out.extend_from_slice(&v.to_le_bytes());
+    out
+}
+
+fn decode_sample(payload: &[u8]) -> Option<(Timestamp, Value)> {
+    if payload.len() != 16 {
+        return None;
+    }
+    Some((
+        i64::from_le_bytes(payload[..8].try_into().ok()?),
+        f64::from_le_bytes(payload[8..].try_into().ok()?),
+    ))
+}
+
+fn encode_group_row(t: Timestamp, entries: &[(SeriesRef, Value)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + entries.len() * 12);
+    out.extend_from_slice(&t.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (slot, v) in entries {
+        out.extend_from_slice(&slot.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_group_row(payload: &[u8]) -> Option<(Timestamp, Vec<(SeriesRef, Value)>)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let t = i64::from_le_bytes(payload[..8].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    if payload.len() != 12 + n * 12 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 12 + i * 12;
+        entries.push((
+            u32::from_le_bytes(payload[off..off + 4].try_into().ok()?),
+            f64::from_le_bytes(payload[off + 4..off + 12].try_into().ok()?),
+        ));
+    }
+    Some((t, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        Options {
+            chunk_samples: 8,
+            index_slots_per_segment: 4096,
+            page_cache_bytes: 8 << 20,
+            arena_chunks_per_file: 256,
+            tree: TreeOptions {
+                memtable_bytes: 32 << 10,
+                l0_partition_ms: 30 * 60_000,
+                l2_partition_ms: 2 * 3_600_000,
+                max_sstable_bytes: 64 << 10,
+                ..TreeOptions::default()
+            },
+            wal_batch_records: 16,
+            ..Options::default()
+        }
+    }
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        Labels::from_pairs(pairs.iter().copied())
+    }
+
+    fn engine() -> (tempfile::TempDir, TimeUnion) {
+        let dir = tempfile::tempdir().unwrap();
+        let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
+        (dir, e)
+    }
+
+    #[test]
+    fn put_query_round_trip() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "cpu"), ("host", "h1")]);
+        let id = e.put(&l, 1_000, 0.5).unwrap();
+        e.put_by_id(id, 2_000, 0.7).unwrap();
+        let res = e
+            .query(&[Selector::exact("metric", "cpu")], 0, 10_000)
+            .unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].labels, l);
+        assert_eq!(
+            res[0].samples,
+            vec![Sample::new(1_000, 0.5), Sample::new(2_000, 0.7)]
+        );
+    }
+
+    #[test]
+    fn slow_path_is_idempotent_on_labels() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "cpu")]);
+        let a = e.put(&l, 1_000, 1.0).unwrap();
+        let b = e.put(&l, 2_000, 2.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(e.series_count(), 1);
+    }
+
+    #[test]
+    fn unknown_fast_path_id_errors() {
+        let (_d, e) = engine();
+        assert!(e.put_by_id(424242, 0, 0.0).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn data_survives_chunk_seal_and_tree_flush() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "cpu")]);
+        let id = e.put(&l, 0, 0.0).unwrap();
+        for i in 1..100i64 {
+            e.put_by_id(id, i * 10_000, i as f64).unwrap();
+        }
+        e.flush_all().unwrap();
+        let res = e
+            .query(&[Selector::exact("metric", "cpu")], 0, 1_000_000)
+            .unwrap();
+        assert_eq!(res[0].samples.len(), 100);
+        assert!(res[0]
+            .samples
+            .windows(2)
+            .all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn group_round_trip_with_selectors() {
+        let (_d, e) = engine();
+        let gt = labels(&[("host", "h1")]);
+        let members = vec![
+            labels(&[("metric", "cpu")]),
+            labels(&[("metric", "mem")]),
+        ];
+        let (gid, refs) = e.put_group(&gt, &members, 1_000, &[0.1, 0.2]).unwrap();
+        e.put_group_fast(gid, &refs, 2_000, &[0.3, 0.4]).unwrap();
+        // Selector on the shared group tag returns both members.
+        let res = e.query(&[Selector::exact("host", "h1")], 0, 10_000).unwrap();
+        assert_eq!(res.len(), 2);
+        // Selector on a member tag returns just that member.
+        let res = e
+            .query(
+                &[Selector::exact("host", "h1"), Selector::exact("metric", "mem")],
+                0,
+                10_000,
+            )
+            .unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(
+            res[0].samples,
+            vec![Sample::new(1_000, 0.2), Sample::new(2_000, 0.4)]
+        );
+    }
+
+    #[test]
+    fn group_missing_members_read_as_absent() {
+        let (_d, e) = engine();
+        let gt = labels(&[("host", "h1")]);
+        let (gid, refs) = e
+            .put_group(&gt, &[labels(&[("m", "a")]), labels(&[("m", "b")])], 10, &[1.0, 2.0])
+            .unwrap();
+        // Next round only member a reports.
+        e.put_group_fast(gid, &refs[..1], 20, &[3.0]).unwrap();
+        let res = e
+            .query(&[Selector::exact("host", "h1"), Selector::exact("m", "b")], 0, 100)
+            .unwrap();
+        assert_eq!(res[0].samples, vec![Sample::new(10, 2.0)]);
+    }
+
+    #[test]
+    fn group_survives_seal_to_tree() {
+        let (_d, e) = engine();
+        let gt = labels(&[("host", "h1")]);
+        let members: Vec<Labels> = (0..5)
+            .map(|i| labels(&[("metric", &format!("m{i}"))]))
+            .collect();
+        let (gid, refs) = e
+            .put_group(&gt, &members, 0, &[0.0; 5])
+            .unwrap();
+        for round in 1..50i64 {
+            let vals: Vec<f64> = (0..5).map(|m| (round * 10 + m) as f64).collect();
+            e.put_group_fast(gid, &refs, round * 30_000, &vals).unwrap();
+        }
+        e.flush_all().unwrap();
+        let res = e
+            .query(
+                &[Selector::exact("host", "h1"), Selector::exact("metric", "m3")],
+                0,
+                i64::MAX / 4,
+            )
+            .unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].samples.len(), 50);
+        assert_eq!(res[0].samples[7].v, 73.0);
+    }
+
+    #[test]
+    fn out_of_order_sample_older_than_head() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "cpu")]);
+        let id = e.put(&l, 100_000, 1.0).unwrap();
+        e.put_by_id(id, 200_000, 2.0).unwrap();
+        // Way in the past: early-flushed to the tree.
+        e.put_by_id(id, 5_000, 0.5).unwrap();
+        let res = e.query(&[Selector::exact("metric", "cpu")], 0, 300_000).unwrap();
+        let ts: Vec<i64> = res[0].samples.iter().map(|s| s.t).collect();
+        assert_eq!(ts, vec![5_000, 100_000, 200_000]);
+    }
+
+    #[test]
+    fn regex_selectors_work_end_to_end() {
+        let (_d, e) = engine();
+        for m in ["disk_read", "disk_write", "cpu_user"] {
+            e.put(&labels(&[("metric", m)]), 1_000, 1.0).unwrap();
+        }
+        let res = e
+            .query(&[Selector::regex("metric", "disk_.*").unwrap()], 0, 10_000)
+            .unwrap();
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn recovery_restores_unflushed_samples() {
+        let dir = tempfile::tempdir().unwrap();
+        let l = labels(&[("metric", "cpu"), ("host", "h9")]);
+        {
+            let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
+            let id = e.put(&l, 1_000, 1.0).unwrap();
+            for i in 2..20i64 {
+                e.put_by_id(id, i * 1_000, i as f64).unwrap();
+            }
+            e.sync().unwrap();
+            // Dropped without flush_all: head samples only exist in the WAL.
+        }
+        let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
+        assert_eq!(e.series_count(), 1);
+        let res = e
+            .query(&[Selector::exact("host", "h9")], 0, 100_000)
+            .unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].samples.len(), 19);
+        // Fast path still works with the recovered ID.
+        let id = res[0].id;
+        e.put_by_id(id, 50_000, 50.0).unwrap();
+    }
+
+    #[test]
+    fn recovery_restores_groups() {
+        let dir = tempfile::tempdir().unwrap();
+        let gt = labels(&[("host", "h1")]);
+        let members = vec![labels(&[("m", "a")]), labels(&[("m", "b")])];
+        {
+            let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
+            let (gid, refs) = e.put_group(&gt, &members, 10, &[1.0, 2.0]).unwrap();
+            e.put_group_fast(gid, &refs, 20, &[3.0, 4.0]).unwrap();
+            e.sync().unwrap();
+        }
+        let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
+        assert_eq!(e.group_count(), 1);
+        let res = e
+            .query(&[Selector::exact("host", "h1"), Selector::exact("m", "b")], 0, 100)
+            .unwrap();
+        assert_eq!(
+            res[0].samples,
+            vec![Sample::new(10, 2.0), Sample::new(20, 4.0)]
+        );
+    }
+
+    #[test]
+    fn retention_drops_old_series() {
+        use tu_common::clock::SimClock;
+        let dir = tempfile::tempdir().unwrap();
+        let clock = SimClock::new(0);
+        let mut o = opts();
+        o.retention_ms = Some(1_000_000);
+        o.clock = Arc::new(clock.clone());
+        let e = TimeUnion::open(dir.path().join("db"), o).unwrap();
+        e.put(&labels(&[("metric", "old")]), 1_000, 1.0).unwrap();
+        e.put(&labels(&[("metric", "new")]), 5_000_000, 1.0).unwrap();
+        clock.set(6_000_000);
+        let (_, objects) = e.apply_retention().unwrap();
+        assert_eq!(objects, 1);
+        assert_eq!(e.series_count(), 1);
+        assert!(e
+            .query(&[Selector::exact("metric", "old")], 0, i64::MAX / 4)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            e.query(&[Selector::exact("metric", "new")], 0, i64::MAX / 4)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn tag_values_lists_values() {
+        let (_d, e) = engine();
+        for h in ["h2", "h1"] {
+            e.put(&labels(&[("host", h), ("metric", "cpu")]), 0, 1.0)
+                .unwrap();
+        }
+        assert_eq!(e.tag_values("host").unwrap(), vec!["h1", "h2"]);
+    }
+
+    #[test]
+    fn memory_stats_have_expected_shape() {
+        let (_d, e) = engine();
+        for i in 0..200 {
+            e.put(&labels(&[("host", &format!("h{i}")), ("metric", "cpu")]), 0, 1.0)
+                .unwrap();
+        }
+        let m = e.memory_stats();
+        assert!(m.postings_bytes > 0);
+        assert!(m.objects_bytes > 0);
+        assert!(m.page_cache_bytes > 0, "trie+heads are file-backed");
+        assert!(m.total() >= m.postings_bytes + m.objects_bytes);
+    }
+
+    #[test]
+    fn background_worker_drives_maintenance() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut o = opts();
+        o.inline_maintenance = false;
+        o.tree.memtable_bytes = 4 << 10; // seal early so the worker has work
+        let e = Arc::new(TimeUnion::open(dir.path().join("db"), o).unwrap());
+        e.start_background(std::time::Duration::from_millis(5));
+        let id = e.put(&labels(&[("metric", "bg")]), 0, 0.0).unwrap();
+        for i in 1..3_000i64 {
+            e.put_by_id(id, i * 1_000, i as f64).unwrap();
+        }
+        // Wait for the worker to flush the sealed memtables.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if e.tree_stats().flushes > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never flushed: {:?}",
+                e.tree_stats()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let res = e
+            .query(&[Selector::exact("metric", "bg")], 0, 4_000_000)
+            .unwrap();
+        assert_eq!(res[0].samples.len(), 3_000);
+        e.stop_background();
+    }
+
+    #[test]
+    fn empty_labels_rejected() {
+        let (_d, e) = engine();
+        assert!(e.put(&Labels::new(), 0, 0.0).is_err());
+        assert!(e
+            .put_group(&Labels::new(), &[labels(&[("a", "b")])], 0, &[0.0])
+            .is_err());
+        assert!(e
+            .put_group(&labels(&[("a", "b")]), &[labels(&[("c", "d")])], 0, &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! The TimeUnion engine — the paper's primary contribution.
+//!
+//! Pulls the substrates together into the system of Figure 7/10:
+//!
+//! * the **unified data model** (§3.1): individual timeseries and
+//!   timeseries groups behind one tag-based identifier space ([`model`]),
+//! * **memory-efficient structures** (§3.2): the global trie-backed
+//!   inverted index, plus per-series/group *memory objects* whose
+//!   in-progress sample chunks live in file-backed chunk arenas so cold
+//!   series can be swapped out ([`series`], [`group`]),
+//! * the **elastic time-partitioned LSM-tree** (§3.3) as the persistent
+//!   store for sealed chunks,
+//! * the **operations** of §3.4: slow/fast-path Put for series and
+//!   groups, and selector-based Get with merge iterators ([`engine`],
+//!   [`query`]),
+//! * sequence-ID **logging and recovery** (§3.3) via the catalog and WAL
+//!   ([`catalog`], recovery in [`engine`]),
+//! * the **grouping cost model** of Equations 1–6 ([`analysis`]).
+
+pub mod analysis;
+pub mod catalog;
+pub mod engine;
+pub mod group;
+pub mod model;
+pub mod query;
+pub mod series;
+
+pub use engine::{Options, TimeUnion};
+pub use query::{QueryResult, SeriesResult};

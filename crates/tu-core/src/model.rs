@@ -1,0 +1,97 @@
+//! The unified data model (§3.1, Figure 6): identifiers for individual
+//! timeseries and timeseries groups.
+//!
+//! A timeseries identifier is a set of tags. A group declares *group tags*
+//! shared by all members; a member is identified inside the group by its
+//! remaining (unique) tags. Converting between the flat and the grouped
+//! representation is pure tag-set arithmetic, provided here.
+
+use tu_common::{Error, Labels, Result};
+
+/// The grouped form of a timeseries identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedIdentity {
+    /// Tags shared by every member of the group.
+    pub group_tags: Labels,
+    /// Tags identifying this member inside the group.
+    pub unique_tags: Labels,
+}
+
+impl GroupedIdentity {
+    /// Reassembles the flat identifier.
+    pub fn flatten(&self) -> Labels {
+        self.group_tags.merge(&self.unique_tags)
+    }
+}
+
+/// Splits a flat identifier into its grouped form under `group_tags`.
+///
+/// Every pair of `group_tags` must appear in `labels` with the same value
+/// (Figure 6: the group tags are *extracted*; a mismatch means the series
+/// does not belong to this group).
+pub fn to_grouped(labels: &Labels, group_tags: &Labels) -> Result<GroupedIdentity> {
+    let (shared, unique) = labels.split_group_tags(group_tags);
+    if shared.len() != group_tags.len() {
+        return Err(Error::invalid(format!(
+            "series {labels} does not carry all group tags {group_tags}"
+        )));
+    }
+    Ok(GroupedIdentity {
+        group_tags: group_tags.clone(),
+        unique_tags: unique,
+    })
+}
+
+/// Canonical bytes identifying a group by its group tags.
+pub fn group_key(group_tags: &Labels) -> Vec<u8> {
+    group_tags.to_bytes()
+}
+
+/// Canonical bytes identifying a member inside its group.
+pub fn member_key(unique_tags: &Labels) -> Vec<u8> {
+    unique_tags.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        Labels::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn split_and_flatten_round_trip() {
+        let flat = labels(&[("region", "1"), ("device", "7"), ("metric", "cpu")]);
+        let group = labels(&[("region", "1")]);
+        let g = to_grouped(&flat, &group).unwrap();
+        assert_eq!(g.unique_tags, labels(&[("device", "7"), ("metric", "cpu")]));
+        assert_eq!(g.flatten(), flat);
+    }
+
+    #[test]
+    fn missing_group_tag_is_rejected() {
+        let flat = labels(&[("metric", "cpu")]);
+        let group = labels(&[("region", "1")]);
+        assert!(to_grouped(&flat, &group).is_err());
+        // Same key, different value is also a mismatch.
+        let flat = labels(&[("region", "2"), ("metric", "cpu")]);
+        assert!(to_grouped(&flat, &group).is_err());
+    }
+
+    #[test]
+    fn member_keys_distinguish_members() {
+        let a = to_grouped(
+            &labels(&[("region", "1"), ("cpu", "0"), ("mode", "idle")]),
+            &labels(&[("region", "1")]),
+        )
+        .unwrap();
+        let b = to_grouped(
+            &labels(&[("region", "1"), ("cpu", "0"), ("mode", "user")]),
+            &labels(&[("region", "1")]),
+        )
+        .unwrap();
+        assert_ne!(member_key(&a.unique_tags), member_key(&b.unique_tags));
+        assert_eq!(group_key(&a.group_tags), group_key(&b.group_tags));
+    }
+}

@@ -1,0 +1,143 @@
+//! Query results and sample merging.
+//!
+//! A Get returns a *timeseries set*; each member exposes its tag set and
+//! its samples merged across MemTables, SSTables, and the in-memory head
+//! chunk (§3.4). Chunk-level versions are resolved by the tree
+//! (newest-wins per chunk key); sample-level overlaps — produced by
+//! out-of-order backfills — are resolved here with later-starting chunks
+//! overriding earlier ones at equal timestamps, matching "keep the data
+//! sample from the newest SSTable".
+
+use std::collections::BTreeMap;
+
+use tu_common::{Labels, Sample, SeriesId, Timestamp, Value};
+
+/// One matched timeseries with its samples in `[start, end)`, sorted by
+/// timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesResult {
+    pub id: SeriesId,
+    pub labels: Labels,
+    pub samples: Vec<Sample>,
+}
+
+/// The result of a Get: every matched series, sorted by label bytes.
+pub type QueryResult = Vec<SeriesResult>;
+
+/// Accumulates samples from multiple overlapping sources. Sources must be
+/// offered in oldest-to-newest order; later offers override earlier ones
+/// at equal timestamps.
+#[derive(Debug, Default)]
+pub struct SampleMerger {
+    map: BTreeMap<Timestamp, Value>,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl SampleMerger {
+    /// Creates a merger clipping to `[start, end)`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        SampleMerger {
+            map: BTreeMap::new(),
+            start,
+            end,
+        }
+    }
+
+    /// Offers one sample.
+    pub fn offer(&mut self, t: Timestamp, v: Value) {
+        if t >= self.start && t < self.end {
+            self.map.insert(t, v);
+        }
+    }
+
+    /// Offers a batch of samples.
+    pub fn offer_all(&mut self, samples: impl IntoIterator<Item = Sample>) {
+        for s in samples {
+            self.offer(s.t, s.v);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Finishes into sorted samples.
+    pub fn finish(self) -> Vec<Sample> {
+        self.map
+            .into_iter()
+            .map(|(t, v)| Sample::new(t, v))
+            .collect()
+    }
+}
+
+/// Step-aggregation used by the TSBS query patterns: MAX per aligned
+/// window of `step_ms` over `[start, end)`. Windows without samples are
+/// omitted.
+pub fn aggregate_max(
+    samples: &[Sample],
+    start: Timestamp,
+    end: Timestamp,
+    step_ms: i64,
+) -> Vec<Sample> {
+    assert!(step_ms > 0);
+    let mut out: Vec<Sample> = Vec::new();
+    for s in samples {
+        if s.t < start || s.t >= end {
+            continue;
+        }
+        let bucket = start + ((s.t - start) / step_ms) * step_ms;
+        match out.last_mut() {
+            Some(last) if last.t == bucket => last.v = last.v.max(s.v),
+            _ => out.push(Sample::new(bucket, s.v)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merger_clips_and_dedups_latest_wins() {
+        let mut m = SampleMerger::new(10, 30);
+        m.offer_all([Sample::new(5, 0.0), Sample::new(10, 1.0), Sample::new(20, 2.0)]);
+        m.offer(20, 9.0); // newer source overrides
+        m.offer(30, 3.0); // end-exclusive
+        assert_eq!(
+            m.finish(),
+            vec![Sample::new(10, 1.0), Sample::new(20, 9.0)]
+        );
+    }
+
+    #[test]
+    fn merger_sorts_out_of_order_offers() {
+        let mut m = SampleMerger::new(0, 100);
+        m.offer(50, 5.0);
+        m.offer(10, 1.0);
+        m.offer(30, 3.0);
+        let out = m.finish();
+        let ts: Vec<i64> = out.iter().map(|s| s.t).collect();
+        assert_eq!(ts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn aggregate_max_buckets_correctly() {
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample::new(i * 60_000, (i % 4) as f64))
+            .collect();
+        let out = aggregate_max(&samples, 0, 600_000, 300_000);
+        // Bucket 0 covers minutes 0-4 (values 0,1,2,3,0), bucket 1 covers
+        // minutes 5-9 (values 1,2,3,0,1).
+        assert_eq!(out, vec![Sample::new(0, 3.0), Sample::new(300_000, 3.0)]);
+    }
+
+    #[test]
+    fn aggregate_max_omits_empty_windows() {
+        let samples = vec![Sample::new(0, 1.0), Sample::new(900_000, 2.0)];
+        let out = aggregate_max(&samples, 0, 1_200_000, 300_000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].t, 900_000);
+    }
+}

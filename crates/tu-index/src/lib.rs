@@ -1,0 +1,31 @@
+//! The memory-efficient inverted index (§3.2 of the paper).
+//!
+//! Prometheus tsdb keeps one inverted index per time partition in nested
+//! hash tables, which Figure 3 shows dominating memory at scale. TimeUnion
+//! replaces that with a single *global* index whose tag dictionary is a
+//! double-array trie stored in segmented file-backed arrays:
+//!
+//! * [`trie`] — a cedar-style double-array trie with a tail array
+//!   (Figure 8), keyed by `tagkey\x01tagvalue` strings, mapping each tag
+//!   pair to a postings slot.
+//! * [`postings`] — sorted postings lists of series/group IDs with
+//!   intersection/union operations.
+//! * [`inverted`] — the combined index: add/remove series, evaluate tag
+//!   selectors.
+//! * [`matcher`] — exact and regular-expression tag selectors, backed by a
+//!   small from-scratch regex engine (anchored full-match semantics, the
+//!   same as Prometheus selectors like `metric=~"disk.*"`).
+
+pub mod inverted;
+pub mod matcher;
+pub mod postings;
+pub mod regexlite;
+pub mod trie;
+
+pub use inverted::InvertedIndex;
+pub use matcher::Selector;
+pub use trie::DoubleArrayTrie;
+
+/// Separator between tag key and tag value in trie keys. The paper uses
+/// `'$'`; a control byte is used here so user data cannot collide with it.
+pub const KV_SEPARATOR: u8 = 0x01;

@@ -1,0 +1,110 @@
+//! Tag selectors: exact and regular-expression matchers (§3.4).
+//!
+//! A query passes a set of selectors such as `metric="cpu"` or
+//! `metric=~"disk.*"`; the index intersects the postings of all selectors.
+
+use crate::regexlite::Regex;
+use tu_common::Result;
+
+/// How a selector matches tag values.
+#[derive(Debug, Clone)]
+pub enum Matcher {
+    /// Exact string equality (`=`).
+    Exact(String),
+    /// Anchored regular-expression match (`=~`).
+    Regex(Regex),
+}
+
+/// A tag selector: a tag key plus a value matcher.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    pub key: String,
+    pub matcher: Matcher,
+}
+
+impl Selector {
+    /// `key="value"`.
+    pub fn exact(key: impl Into<String>, value: impl Into<String>) -> Self {
+        Selector {
+            key: key.into(),
+            matcher: Matcher::Exact(value.into()),
+        }
+    }
+
+    /// `key=~"pattern"`. Errors on malformed patterns.
+    pub fn regex(key: impl Into<String>, pattern: &str) -> Result<Self> {
+        let compiled = Regex::new(pattern)?;
+        // Degenerate regexes like `cpu` are downgraded to exact matches so
+        // they use a single trie lookup instead of a prefix scan.
+        if let Some(lit) = compiled.as_literal() {
+            return Ok(Selector {
+                key: key.into(),
+                matcher: Matcher::Exact(lit),
+            });
+        }
+        Ok(Selector {
+            key: key.into(),
+            matcher: Matcher::Regex(compiled),
+        })
+    }
+
+    /// Tests a tag value against this selector.
+    pub fn matches_value(&self, value: &str) -> bool {
+        match &self.matcher {
+            Matcher::Exact(v) => v == value,
+            Matcher::Regex(r) => r.is_match(value),
+        }
+    }
+
+    /// True if this selector needs a value scan (regex) rather than one
+    /// exact lookup.
+    pub fn is_regex(&self) -> bool {
+        matches!(self.matcher, Matcher::Regex(_))
+    }
+}
+
+impl std::fmt::Display for Selector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.matcher {
+            Matcher::Exact(v) => write!(f, "{}=\"{v}\"", self.key),
+            Matcher::Regex(r) => write!(f, "{}=~\"{}\"", self.key, r.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_selector_matches_exactly() {
+        let s = Selector::exact("metric", "cpu");
+        assert!(s.matches_value("cpu"));
+        assert!(!s.matches_value("cpu2"));
+        assert!(!s.is_regex());
+        assert_eq!(s.to_string(), "metric=\"cpu\"");
+    }
+
+    #[test]
+    fn regex_selector_matches_anchored() {
+        let s = Selector::regex("metric", "disk.*").unwrap();
+        assert!(s.is_regex());
+        assert!(s.matches_value("disk"));
+        assert!(s.matches_value("diskio"));
+        assert!(!s.matches_value("ramdisk"));
+        assert_eq!(s.to_string(), "metric=~\"disk.*\"");
+    }
+
+    #[test]
+    fn literal_regex_downgrades_to_exact() {
+        let s = Selector::regex("metric", "cpu").unwrap();
+        assert!(!s.is_regex(), "literal pattern should become exact");
+        assert!(s.matches_value("cpu"));
+        assert!(!s.matches_value("cpux"));
+    }
+
+    #[test]
+    fn malformed_regex_is_an_error() {
+        assert!(Selector::regex("m", "(").is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Sorted postings lists of series/group IDs.
+//!
+//! Each tag pair maps (through the trie) to one postings list. Lists are
+//! kept sorted so selector evaluation is a linear-time merge. Group IDs
+//! appear in postings exactly like series IDs (the paper's §3.1: "the
+//! group ID is utilized as the postings ID"), which is what shortens
+//! postings lists under grouping (Figure 5).
+
+use tu_common::SeriesId;
+
+/// A store of postings lists, addressed by dense `u64` slots handed out at
+/// creation time (the trie stores the slot as the tag pair's value).
+#[derive(Debug, Default)]
+pub struct PostingsStore {
+    lists: Vec<Vec<SeriesId>>,
+}
+
+impl PostingsStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty list and returns its slot.
+    pub fn create(&mut self) -> u64 {
+        self.lists.push(Vec::new());
+        (self.lists.len() - 1) as u64
+    }
+
+    /// Number of lists.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Adds `id` to the list at `slot` (no-op if already present).
+    pub fn add(&mut self, slot: u64, id: SeriesId) {
+        let list = &mut self.lists[slot as usize];
+        if let Err(pos) = list.binary_search(&id) {
+            list.insert(pos, id);
+        }
+    }
+
+    /// Removes `id` from the list at `slot`. Returns true if it was there.
+    pub fn remove(&mut self, slot: u64, id: SeriesId) -> bool {
+        let list = &mut self.lists[slot as usize];
+        match list.binary_search(&id) {
+            Ok(pos) => {
+                list.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Borrow of the sorted list at `slot`.
+    pub fn get(&self, slot: u64) -> &[SeriesId] {
+        &self.lists[slot as usize]
+    }
+
+    /// Total number of posting entries across all lists (the `N·T·Sp` term
+    /// of Equation 1).
+    pub fn total_entries(&self) -> u64 {
+        self.lists.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Heap bytes retained, for the memory experiments.
+    pub fn heap_bytes(&self) -> usize {
+        self.lists.capacity() * std::mem::size_of::<Vec<SeriesId>>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<SeriesId>())
+                .sum::<usize>()
+    }
+}
+
+/// Intersection of two sorted ID lists.
+pub fn intersect(a: &[SeriesId], b: &[SeriesId]) -> Vec<SeriesId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Union of two sorted ID lists.
+pub fn union(a: &[SeriesId], b: &[SeriesId]) -> Vec<SeriesId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn add_remove_keeps_sorted_dedup() {
+        let mut p = PostingsStore::new();
+        let slot = p.create();
+        for id in [5, 1, 3, 5, 2, 1] {
+            p.add(slot, id);
+        }
+        assert_eq!(p.get(slot), &[1, 2, 3, 5]);
+        assert!(p.remove(slot, 3));
+        assert!(!p.remove(slot, 3));
+        assert_eq!(p.get(slot), &[1, 2, 5]);
+        assert_eq!(p.total_entries(), 3);
+    }
+
+    #[test]
+    fn intersect_and_union_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u64>::new());
+        assert_eq!(union(&[1, 3], &[2, 3, 9]), vec![1, 2, 3, 9]);
+        assert_eq!(union(&[], &[]), Vec::<u64>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_semantics(a in proptest::collection::btree_set(0u64..500, 0..100),
+                              b in proptest::collection::btree_set(0u64..500, 0..100)) {
+            let av: Vec<u64> = a.iter().copied().collect();
+            let bv: Vec<u64> = b.iter().copied().collect();
+            let expect_i: Vec<u64> = a.intersection(&b).copied().collect();
+            let expect_u: Vec<u64> = a.union(&b).copied().collect();
+            prop_assert_eq!(intersect(&av, &bv), expect_i);
+            prop_assert_eq!(union(&av, &bv), expect_u);
+        }
+
+        #[test]
+        fn prop_store_matches_model(ops in proptest::collection::vec((any::<bool>(), 0u64..100), 0..200)) {
+            let mut p = PostingsStore::new();
+            let slot = p.create();
+            let mut model = BTreeSet::new();
+            for (add, id) in ops {
+                if add {
+                    p.add(slot, id);
+                    model.insert(id);
+                } else {
+                    let removed = p.remove(slot, id);
+                    prop_assert_eq!(removed, model.remove(&id));
+                }
+            }
+            let expect: Vec<u64> = model.into_iter().collect();
+            prop_assert_eq!(p.get(slot), expect.as_slice());
+        }
+    }
+}

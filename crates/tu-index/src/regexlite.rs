@@ -1,0 +1,506 @@
+//! A small from-scratch regular-expression engine for tag selectors.
+//!
+//! Supports the subset of syntax TSBS and Prometheus selectors use:
+//! literals, `.`, character classes `[a-z0-9_]` (with negation `[^...]`
+//! and ranges), alternation `|`, grouping `(...)`, the repetitions `*`,
+//! `+`, `?`, and `\`-escapes (including `\d`, `\w`, `\s`). Matching is
+//! anchored at both ends (full-match semantics), as Prometheus applies to
+//! `=~` selectors.
+//!
+//! The engine compiles to a Thompson NFA and simulates it with a set of
+//! active states, so matching is linear in input length — no backtracking
+//! blow-ups from hostile patterns.
+
+use tu_common::{Error, Result};
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    source: String,
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one byte satisfying the class, advance.
+    Byte(ByteClass),
+    /// Jump to two alternatives.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Accept.
+    Match,
+}
+
+#[derive(Debug, Clone)]
+enum ByteClass {
+    Literal(u8),
+    Any,
+    /// Sorted inclusive ranges; `negated` flips membership.
+    Ranges { ranges: Vec<(u8, u8)>, negated: bool },
+}
+
+impl ByteClass {
+    fn matches(&self, b: u8) -> bool {
+        match self {
+            ByteClass::Literal(l) => *l == b,
+            ByteClass::Any => true,
+            ByteClass::Ranges { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+// --- parser: pattern -> AST ------------------------------------------------
+
+#[derive(Debug)]
+enum Ast {
+    Empty,
+    Byte(ByteClass),
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Quest(Box<Ast>),
+}
+
+struct Parser<'a> {
+    pat: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pat: &'a str) -> Self {
+        Parser {
+            pat: pat.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast> {
+        let first = self.parse_concat()?;
+        if self.peek() == Some(b'|') {
+            self.bump();
+            let rest = self.parse_alt()?;
+            Ok(Ast::Alt(Box::new(first), Box::new(rest)))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some(b'+') => {
+                self.bump();
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some(b'?') => {
+                self.bump();
+                Ok(Ast::Quest(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast> {
+        match self.bump() {
+            None => Err(Error::invalid("regex ended unexpectedly")),
+            Some(b'(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(Error::invalid("unclosed group in regex"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.parse_class(),
+            Some(b'.') => Ok(Ast::Byte(ByteClass::Any)),
+            Some(b'\\') => {
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| Error::invalid("dangling escape in regex"))?;
+                Ok(Ast::Byte(escape_class(esc)?))
+            }
+            Some(b) if b == b'*' || b == b'+' || b == b'?' => {
+                Err(Error::invalid("repetition with nothing to repeat"))
+            }
+            Some(b')') => Err(Error::invalid("unmatched ')' in regex")),
+            Some(b) => Ok(Ast::Byte(ByteClass::Literal(b))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(u8, u8)> = Vec::new();
+        let mut first = true;
+        loop {
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::invalid("unclosed character class"))?;
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if b == b'\\' {
+                match self.bump() {
+                    Some(e) => match escape_class(e)? {
+                        ByteClass::Literal(l) => l,
+                        ByteClass::Ranges { ranges: rs, negated: false } => {
+                            ranges.extend(rs);
+                            continue;
+                        }
+                        _ => return Err(Error::invalid("unsupported escape in class")),
+                    },
+                    None => return Err(Error::invalid("dangling escape in class")),
+                }
+            } else {
+                b
+            };
+            if self.peek() == Some(b'-') && self.pat.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| Error::invalid("unclosed range in class"))?;
+                if hi < lo {
+                    return Err(Error::invalid("inverted range in character class"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        ranges.sort_unstable();
+        Ok(Ast::Byte(ByteClass::Ranges { ranges, negated }))
+    }
+}
+
+fn escape_class(esc: u8) -> Result<ByteClass> {
+    Ok(match esc {
+        b'd' => ByteClass::Ranges {
+            ranges: vec![(b'0', b'9')],
+            negated: false,
+        },
+        b'w' => ByteClass::Ranges {
+            ranges: vec![(b'0', b'9'), (b'A', b'Z'), (b'_', b'_'), (b'a', b'z')],
+            negated: false,
+        },
+        b's' => ByteClass::Ranges {
+            ranges: vec![(b'\t', b'\r'), (b' ', b' ')],
+            negated: false,
+        },
+        b'n' => ByteClass::Literal(b'\n'),
+        b't' => ByteClass::Literal(b'\t'),
+        b'.' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'|' | b'\\' | b'^' | b'$'
+        | b'-' | b'/' => ByteClass::Literal(esc),
+        other => {
+            return Err(Error::invalid(format!(
+                "unsupported escape \\{} in regex",
+                other as char
+            )))
+        }
+    })
+}
+
+// --- compiler: AST -> NFA program -------------------------------------------
+
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Byte(c) => prog.push(Inst::Byte(c.clone())),
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, prog);
+            }
+        }
+        Ast::Alt(a, b) => {
+            let split = prog.len();
+            prog.push(Inst::Jmp(0)); // placeholder -> Split
+            compile(a, prog);
+            let jmp = prog.len();
+            prog.push(Inst::Jmp(0)); // placeholder -> end
+            let b_start = prog.len();
+            compile(b, prog);
+            let end = prog.len();
+            prog[split] = Inst::Split(split + 1, b_start);
+            prog[jmp] = Inst::Jmp(end);
+        }
+        Ast::Star(inner) => {
+            let split = prog.len();
+            prog.push(Inst::Jmp(0));
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split));
+            let end = prog.len();
+            prog[split] = Inst::Split(split + 1, end);
+        }
+        Ast::Plus(inner) => {
+            let start = prog.len();
+            compile(inner, prog);
+            let split = prog.len();
+            prog.push(Inst::Split(start, split + 1));
+        }
+        Ast::Quest(inner) => {
+            let split = prog.len();
+            prog.push(Inst::Jmp(0));
+            compile(inner, prog);
+            let end = prog.len();
+            prog[split] = Inst::Split(split + 1, end);
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern. Errors on unsupported or malformed syntax.
+    pub fn new(pattern: &str) -> Result<Self> {
+        let mut parser = Parser::new(pattern);
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.pat.len() {
+            return Err(Error::invalid("trailing characters in regex"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Regex {
+            prog,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Full-match test (anchored at both ends).
+    pub fn is_match(&self, input: &str) -> bool {
+        self.is_match_bytes(input.as_bytes())
+    }
+
+    /// Full-match test over raw bytes.
+    pub fn is_match_bytes(&self, input: &[u8]) -> bool {
+        let mut current = vec![false; self.prog.len()];
+        let mut next = vec![false; self.prog.len()];
+        let mut stack = Vec::new();
+        add_state(&self.prog, &mut current, &mut stack, 0);
+        for &b in input {
+            if current.iter().all(|&s| !s) {
+                return false;
+            }
+            next.iter_mut().for_each(|s| *s = false);
+            for pc in 0..self.prog.len() {
+                if !current[pc] {
+                    continue;
+                }
+                if let Inst::Byte(class) = &self.prog[pc] {
+                    if class.matches(b) {
+                        add_state(&self.prog, &mut next, &mut stack, pc + 1);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        (0..self.prog.len()).any(|pc| current[pc] && matches!(self.prog[pc], Inst::Match))
+    }
+
+    /// Returns the literal string this regex matches, if it matches exactly
+    /// one string (no classes or repetitions). Lets the index use a cheap
+    /// exact lookup for patterns like `cpu` that arrive via `=~`.
+    pub fn as_literal(&self) -> Option<String> {
+        let mut out = Vec::new();
+        for inst in &self.prog {
+            match inst {
+                Inst::Byte(ByteClass::Literal(b)) => out.push(*b),
+                Inst::Match => return String::from_utf8(out).ok(),
+                _ => return None,
+            }
+        }
+        None
+    }
+}
+
+fn add_state(prog: &[Inst], set: &mut [bool], stack: &mut Vec<usize>, pc: usize) {
+    stack.push(pc);
+    while let Some(pc) = stack.pop() {
+        if set[pc] {
+            continue;
+        }
+        // Mark every visited state — including Jmp/Split — so epsilon
+        // cycles (e.g. `(a*)*`) terminate. The byte loop and the final
+        // accept check only inspect Byte/Match entries, so marking the
+        // epsilon states costs nothing.
+        set[pc] = true;
+        match &prog[pc] {
+            Inst::Jmp(t) => stack.push(*t),
+            Inst::Split(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(pat: &str, input: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_are_fully_anchored() {
+        assert!(m("cpu", "cpu"));
+        assert!(!m("cpu", "cpux"));
+        assert!(!m("cpu", "xcpu"));
+        assert!(!m("cpu", ""));
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+
+    #[test]
+    fn dot_star_prefix_patterns() {
+        let r = Regex::new("disk.*").unwrap();
+        assert!(r.is_match("disk"));
+        assert!(r.is_match("diskio"));
+        assert!(r.is_match("disk_read_bytes"));
+        assert!(!r.is_match("dis"));
+        assert!(!r.is_match("mydisk"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cpu|mem", "cpu"));
+        assert!(m("cpu|mem", "mem"));
+        assert!(!m("cpu|mem", "disk"));
+        assert!(m("host_(1|2)[0-9]", "host_15"));
+        assert!(!m("host_(1|2)[0-9]", "host_35"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(!m("(ab)+", "aba"));
+    }
+
+    #[test]
+    fn repetitions() {
+        assert!(m("a*", ""));
+        assert!(m("a*", "aaaa"));
+        assert!(!m("a+", ""));
+        assert!(m("a+", "a"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(!m("colou?r", "colouur"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("[a-c]+", "abcba"));
+        assert!(!m("[a-c]+", "abd"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(!m("[^0-9]+", "ab3"));
+        assert!(m("[-x]", "-"));
+        assert!(m("[]a]", "]"), "']' first in class is a literal");
+        assert!(m(r"[\d]+", "123"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"\d+", "42"));
+        assert!(!m(r"\d+", "4a"));
+        assert!(m(r"\w+", "host_1"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m(r"\*", "*"));
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        for pat in ["(", "(a", "a)", "[a", "*a", "+", r"\q", "[z-a]"] {
+            assert!(Regex::new(pat).is_err(), "{pat} should fail to compile");
+        }
+    }
+
+    #[test]
+    fn literal_detection() {
+        assert_eq!(Regex::new("cpu").unwrap().as_literal(), Some("cpu".into()));
+        assert_eq!(
+            Regex::new(r"a\.b").unwrap().as_literal(),
+            Some("a.b".into())
+        );
+        assert_eq!(Regex::new("a.*").unwrap().as_literal(), None);
+        assert_eq!(Regex::new("a|b").unwrap().as_literal(), None);
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a*)*b against many 'a's is exponential for backtrackers; the NFA
+        // simulation must finish instantly.
+        let r = Regex::new("(a*)*b").unwrap();
+        let input = "a".repeat(10_000);
+        let start = std::time::Instant::now();
+        assert!(!r.is_match(&input));
+        assert!(start.elapsed().as_secs() < 2);
+    }
+
+    #[test]
+    fn tsbs_style_patterns() {
+        let hosts = Regex::new("host_[0-9]+").unwrap();
+        assert!(hosts.is_match("host_0"));
+        assert!(hosts.is_match("host_1234"));
+        assert!(!hosts.is_match("host_"));
+        let metrics = Regex::new("(cpu|mem|disk)_.*").unwrap();
+        assert!(metrics.is_match("cpu_usage_user"));
+        assert!(metrics.is_match("disk_io_time"));
+        assert!(!metrics.is_match("net_rx"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_literal_patterns_match_themselves(s in "[a-zA-Z0-9_]{0,20}") {
+            prop_assert!(m(&s, &s));
+        }
+
+        #[test]
+        fn prop_prefix_star(s in "[a-z]{1,10}", suffix in "[a-z0-9_]{0,10}") {
+            let pat = format!("{s}.*");
+            let input = format!("{}{}", s, suffix);
+            prop_assert!(m(&pat, &input));
+        }
+    }
+}

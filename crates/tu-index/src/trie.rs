@@ -1,0 +1,691 @@
+//! A double-array trie with a tail array (Figure 8 of the paper).
+//!
+//! The paper indexes tag pairs with a double-array trie (derived from the
+//! cedar implementation) because it stores millions of keys in three flat
+//! arrays — Base, Check, and Tail — which live in segmented file-backed
+//! arrays so the page cache can swap cold regions out (§3.2).
+//!
+//! Structure (Aoe's scheme):
+//!
+//! * `base[s] > 0` — internal node: the transition on code `c` goes to
+//!   `t = base[s] + c`, valid iff `check[t] == s`.
+//! * `base[s] < 0` — leaf: `-base[s]` points into the tail array, which
+//!   stores the remaining key suffix and the 8-byte value.
+//! * `check[t] == FREE (0)` — slot `t` is unallocated.
+//!
+//! Byte `b` uses code `b + 2`; code 1 is the end-of-key terminator, so a
+//! key that is a prefix of another still gets its own leaf.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tu_common::{varint, Error, Result};
+use tu_mmap::pagecache::PageCache;
+use tu_mmap::SegArray;
+
+const ROOT: u64 = 1;
+const FREE: i32 = 0;
+const TERM_CODE: u64 = 1;
+const ALPHABET: u64 = 258; // terminator + 256 byte codes, codes 1..=257
+
+#[inline]
+fn code_of(b: u8) -> u64 {
+    b as u64 + 2
+}
+
+/// Statistics for space accounting (Table 3, Figure 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrieStats {
+    pub keys: u64,
+    pub base_slots: u64,
+    pub tail_bytes: u64,
+}
+
+struct Inner {
+    base: SegArray<i32>,
+    check: SegArray<i32>,
+    tail: SegArray<u8>,
+    keys: u64,
+    /// Search hint: where the last free-base scan ended.
+    next_free_hint: u64,
+}
+
+/// A persistent double-array trie mapping byte keys to `u64` values.
+pub struct DoubleArrayTrie {
+    inner: Mutex<Inner>,
+}
+
+impl DoubleArrayTrie {
+    /// Opens (or creates) a trie stored under `dir` with the given number
+    /// of slots per segment file (the paper uses one million).
+    pub fn open(
+        cache: Arc<PageCache>,
+        dir: impl AsRef<Path>,
+        slots_per_segment: usize,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        let base = SegArray::open(cache.clone(), dir, "base", slots_per_segment)?;
+        let check = SegArray::open(cache.clone(), dir, "check", slots_per_segment)?;
+        let tail = SegArray::open(cache, dir, "tail", slots_per_segment)?;
+        let mut keys = 0;
+        if base.is_empty() {
+            // Fresh trie: materialize the root.
+            base.set(0, 0)?; // slot 0 unused
+            base.set(ROOT, 1)?;
+            check.set(0, 0)?;
+            check.set(ROOT, 0)?;
+            tail.set(0, 0)?; // tail position 0 reserved (negative-zero ambiguity)
+        } else {
+            // Key count is recomputed lazily on reopen via a full scan; it
+            // is persisted in a sidecar to avoid that in the common case.
+            let count_path = dir.join("trie.keys");
+            if let Ok(bytes) = std::fs::read(&count_path) {
+                if bytes.len() == 8 {
+                    keys = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                }
+            }
+        }
+        Ok(DoubleArrayTrie {
+            inner: Mutex::new(Inner {
+                base,
+                check,
+                tail,
+                keys,
+                next_free_hint: ROOT + 1,
+            }),
+        })
+    }
+
+    /// Persists dirty pages and the key-count sidecar.
+    pub fn sync(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let inner = self.inner.lock();
+        inner.base.sync()?;
+        inner.check.sync()?;
+        inner.tail.sync()?;
+        std::fs::write(dir.as_ref().join("trie.keys"), inner.keys.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().keys
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Space accounting for the index-size experiments.
+    pub fn stats(&self) -> TrieStats {
+        let inner = self.inner.lock();
+        TrieStats {
+            keys: inner.keys,
+            base_slots: inner.base.len(),
+            tail_bytes: inner.tail.len(),
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        let mut s = ROOT;
+        let mut i = 0usize;
+        loop {
+            let base_s = inner.base.get(s)?;
+            if base_s < 0 {
+                // Leaf: compare the remaining key with the stored suffix.
+                return split_leaf(&mut inner, s, (-base_s) as u64, &key[i..], value);
+            }
+            let c = if i < key.len() {
+                code_of(key[i])
+            } else {
+                TERM_CODE
+            };
+            let t = base_s as u64 + c;
+            let check_t = if t < inner.check.len() {
+                inner.check.get(t)?
+            } else {
+                FREE
+            };
+            if check_t == s as i32 {
+                if c == TERM_CODE {
+                    // Terminator transition must lead to a leaf.
+                    let base_t = inner.base.get(t)?;
+                    if base_t < 0 {
+                        return split_leaf(&mut inner, t, (-base_t) as u64, &[], value);
+                    }
+                    return Err(Error::corruption("terminator node is not a leaf"));
+                }
+                s = t;
+                i += 1;
+                continue;
+            }
+            // No transition on c: attach a new leaf holding the remainder.
+            let t = claim_child(&mut inner, s, c)?;
+            let suffix = if i < key.len() { &key[i + 1..] } else { &[] };
+            let tail_pos = append_tail(&mut inner, suffix, value)?;
+            inner.base.set(t, -(tail_pos as i32))?;
+            inner.keys += 1;
+            return Ok(None);
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<u64>> {
+        let inner = self.inner.lock();
+        let mut s = ROOT;
+        let mut i = 0usize;
+        loop {
+            let base_s = inner.base.get(s)?;
+            if base_s < 0 {
+                let (suffix, value) = read_tail(&inner, (-base_s) as u64)?;
+                return Ok((suffix == key[i..]).then_some(value));
+            }
+            let c = if i < key.len() {
+                code_of(key[i])
+            } else {
+                TERM_CODE
+            };
+            let t = base_s as u64 + c;
+            if t >= inner.check.len() || inner.check.get(t)? != s as i32 {
+                return Ok(None);
+            }
+            if c == TERM_CODE {
+                let base_t = inner.base.get(t)?;
+                if base_t < 0 {
+                    let (suffix, value) = read_tail(&inner, (-base_t) as u64)?;
+                    return Ok(suffix.is_empty().then_some(value));
+                }
+                return Ok(None);
+            }
+            s = t;
+            i += 1;
+        }
+    }
+
+    /// Visits every `(key, value)` whose key starts with `prefix`, in
+    /// unspecified order. The callback returns `false` to stop early.
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u8],
+        mut visit: impl FnMut(&[u8], u64) -> bool,
+    ) -> Result<()> {
+        let inner = self.inner.lock();
+        // Walk down the prefix.
+        let mut s = ROOT;
+        let mut i = 0usize;
+        while i < prefix.len() {
+            let base_s = inner.base.get(s)?;
+            if base_s < 0 {
+                let (suffix, value) = read_tail(&inner, (-base_s) as u64)?;
+                if suffix.starts_with(&prefix[i..]) {
+                    let mut key = prefix[..i].to_vec();
+                    key.extend_from_slice(&suffix);
+                    visit(&key, value);
+                }
+                return Ok(());
+            }
+            let c = code_of(prefix[i]);
+            let t = base_s as u64 + c;
+            if t >= inner.check.len() || inner.check.get(t)? != s as i32 {
+                return Ok(());
+            }
+            s = t;
+            i += 1;
+        }
+        // DFS below the prefix node.
+        let mut stack: Vec<(u64, Vec<u8>)> = vec![(s, prefix.to_vec())];
+        while let Some((node, key_so_far)) = stack.pop() {
+            let base_n = inner.base.get(node)?;
+            if base_n < 0 {
+                let (suffix, value) = read_tail(&inner, (-base_n) as u64)?;
+                let mut key = key_so_far.clone();
+                key.extend_from_slice(&suffix);
+                if !visit(&key, value) {
+                    return Ok(());
+                }
+                continue;
+            }
+            let start = base_n as u64 + TERM_CODE;
+            let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+            for (i, &chk) in checks.iter().enumerate().rev() {
+                if chk == node as i32 {
+                    let c = TERM_CODE + i as u64;
+                    let t = base_n as u64 + c;
+                    let mut key = key_so_far.clone();
+                    if c == TERM_CODE {
+                        stack.push((t, key));
+                    } else {
+                        key.push((c - 2) as u8);
+                        stack.push((t, key));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --- internal helpers -------------------------------------------------------
+
+/// Appends `suffix` + `value` to the tail pool; returns its position.
+fn append_tail(inner: &mut Inner, suffix: &[u8], value: u64) -> Result<u64> {
+    let pos = inner.tail.len();
+    let mut rec = Vec::with_capacity(suffix.len() + 12);
+    varint::write_u64(&mut rec, suffix.len() as u64);
+    rec.extend_from_slice(suffix);
+    rec.extend_from_slice(&value.to_le_bytes());
+    for (k, &b) in rec.iter().enumerate() {
+        inner.tail.set(pos + k as u64, b)?;
+    }
+    if pos > i32::MAX as u64 {
+        return Err(Error::LimitExceeded("trie tail exceeds 2 GiB".into()));
+    }
+    Ok(pos)
+}
+
+/// Reads the suffix and value stored at tail position `pos`.
+fn read_tail(inner: &Inner, pos: u64) -> Result<(Vec<u8>, u64)> {
+    // Read the length varint byte-by-byte (it is at most 10 bytes).
+    let mut len_buf = Vec::with_capacity(varint::MAX_VARINT_LEN);
+    let mut p = pos;
+    loop {
+        let b = inner.tail.get(p)?;
+        len_buf.push(b);
+        p += 1;
+        if b & 0x80 == 0 {
+            break;
+        }
+        if len_buf.len() > varint::MAX_VARINT_LEN {
+            return Err(Error::corruption("tail length varint too long"));
+        }
+    }
+    let (len, _) = varint::read_u64(&len_buf)?;
+    let mut suffix = Vec::with_capacity(len as usize);
+    for k in 0..len {
+        suffix.push(inner.tail.get(p + k)?);
+    }
+    p += len;
+    let mut vbuf = [0u8; 8];
+    for (k, slot) in vbuf.iter_mut().enumerate() {
+        *slot = inner.tail.get(p + k as u64)?;
+    }
+    Ok((suffix, u64::from_le_bytes(vbuf)))
+}
+
+/// Overwrites the value of the tail record at `pos` (suffix unchanged).
+fn write_tail_value(inner: &mut Inner, pos: u64, value: u64) -> Result<()> {
+    let mut p = pos;
+    let mut len_buf = Vec::with_capacity(varint::MAX_VARINT_LEN);
+    loop {
+        let b = inner.tail.get(p)?;
+        len_buf.push(b);
+        p += 1;
+        if b & 0x80 == 0 {
+            break;
+        }
+    }
+    let (len, _) = varint::read_u64(&len_buf)?;
+    p += len;
+    for (k, b) in value.to_le_bytes().iter().enumerate() {
+        inner.tail.set(p + k as u64, *b)?;
+    }
+    Ok(())
+}
+
+/// The remaining key at a leaf diverged from the stored suffix: grow the
+/// shared prefix into trie nodes and attach two fresh leaves.
+fn split_leaf(
+    inner: &mut Inner,
+    leaf: u64,
+    tail_pos: u64,
+    new_suffix: &[u8],
+    value: u64,
+) -> Result<Option<u64>> {
+    let (old_suffix, old_value) = read_tail(inner, tail_pos)?;
+    if old_suffix == new_suffix {
+        write_tail_value(inner, tail_pos, value)?;
+        return Ok(Some(old_value));
+    }
+    // Length of the common prefix.
+    let p = old_suffix
+        .iter()
+        .zip(new_suffix.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    // Convert the leaf into a chain of internal nodes for the shared part.
+    let mut node = leaf;
+    for &b in &old_suffix[..p] {
+        let child = claim_child(inner, node, code_of(b))?;
+        node = child;
+    }
+    // Diverge: one child continues the old suffix, one the new.
+    let old_code = old_suffix
+        .get(p)
+        .map(|&b| code_of(b))
+        .unwrap_or(TERM_CODE);
+    let new_code = new_suffix
+        .get(p)
+        .map(|&b| code_of(b))
+        .unwrap_or(TERM_CODE);
+    debug_assert_ne!(old_code, new_code, "suffixes differ beyond prefix");
+
+    let old_child = claim_child(inner, node, old_code)?;
+    let old_rest = if p < old_suffix.len() {
+        &old_suffix[p + 1..]
+    } else {
+        &[]
+    };
+    let old_tail = append_tail(inner, old_rest, old_value)?;
+    inner.base.set(old_child, -(old_tail as i32))?;
+
+    let new_child = claim_child(inner, node, new_code)?;
+    let new_rest = if p < new_suffix.len() {
+        &new_suffix[p + 1..]
+    } else {
+        &[]
+    };
+    let new_tail = append_tail(inner, new_rest, value)?;
+    inner.base.set(new_child, -(new_tail as i32))?;
+
+    inner.keys += 1;
+    Ok(None)
+}
+
+/// Ensures node `parent` has a child on `code`, relocating `parent`'s
+/// children if the natural slot is taken. Returns the child slot, with
+/// `check` set and `base` zeroed (caller decides leaf vs. internal).
+fn claim_child(inner: &mut Inner, parent: u64, code: u64) -> Result<u64> {
+    let base_p = inner.base.get(parent)?;
+    if base_p > 0 {
+        let t = base_p as u64 + code;
+        ensure_len(inner, t + 1)?;
+        if inner.check.get(t)? == FREE {
+            inner.check.set(t, parent as i32)?;
+            inner.base.set(t, 0)?;
+            return Ok(t);
+        }
+        // Conflict: relocate parent's children to a base that also fits
+        // the new code.
+        let mut codes = children_of(inner, parent)?;
+        codes.push(code);
+        let new_base = find_base(inner, &codes)?;
+        relocate(inner, parent, new_base, &codes[..codes.len() - 1])?;
+        let t = new_base + code;
+        inner.check.set(t, parent as i32)?;
+        inner.base.set(t, 0)?;
+        Ok(t)
+    } else {
+        // Parent was a leaf being converted to an internal node (split), or
+        // a fresh node with no base yet: pick a base fitting this one code.
+        let new_base = find_base(inner, &[code])?;
+        inner.base.set(parent, new_base as i32)?;
+        let t = new_base + code;
+        inner.check.set(t, parent as i32)?;
+        inner.base.set(t, 0)?;
+        Ok(t)
+    }
+}
+
+/// All outgoing transition codes of `parent`.
+fn children_of(inner: &Inner, parent: u64) -> Result<Vec<u64>> {
+    let base_p = inner.base.get(parent)?;
+    let mut out = Vec::new();
+    if base_p <= 0 {
+        return Ok(out);
+    }
+    let start = base_p as u64 + TERM_CODE;
+    let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+    for (i, &chk) in checks.iter().enumerate() {
+        if chk == parent as i32 {
+            out.push(TERM_CODE + i as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Finds a base value such that `base + c` is free for every `c` in
+/// `codes`. Bases start at 1 so slot indexes stay positive.
+fn find_base(inner: &mut Inner, codes: &[u64]) -> Result<u64> {
+    debug_assert!(!codes.is_empty());
+    let mut b = inner.next_free_hint.max(ALPHABET) - ALPHABET + 1;
+    if b < 1 {
+        b = 1;
+    }
+    'search: loop {
+        for &c in codes {
+            let t = b + c;
+            if t <= ROOT {
+                b += 1;
+                continue 'search;
+            }
+            ensure_len(inner, t + 1)?;
+            if inner.check.get(t)? != FREE {
+                b += 1;
+                continue 'search;
+            }
+        }
+        // Advance the hint conservatively: slots below b + min(code) are
+        // unlikely to fit future claims of similar shape.
+        inner.next_free_hint = b;
+        return Ok(b);
+    }
+}
+
+fn ensure_len(inner: &mut Inner, len: u64) -> Result<()> {
+    if inner.check.len() < len {
+        inner.check.resize(len)?;
+    }
+    if inner.base.len() < len {
+        inner.base.resize(len)?;
+    }
+    Ok(())
+}
+
+/// Moves `parent`'s children (transition codes in `codes`) to `new_base`,
+/// updating grandchildren's check pointers.
+fn relocate(inner: &mut Inner, parent: u64, new_base: u64, codes: &[u64]) -> Result<()> {
+    let old_base = inner.base.get(parent)? as u64;
+    for &c in codes {
+        let old = old_base + c;
+        let new = new_base + c;
+        let old_node_base = inner.base.get(old)?;
+        inner.base.set(new, old_node_base)?;
+        inner.check.set(new, parent as i32)?;
+        // Re-point grandchildren at the moved node.
+        if old_node_base > 0 {
+            let start = old_node_base as u64 + TERM_CODE;
+            let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+            for (i, &chk) in checks.iter().enumerate() {
+                if chk == old as i32 {
+                    inner.check.set(start + i as u64, new as i32)?;
+                }
+            }
+        }
+        inner.base.set(old, 0)?;
+        inner.check.set(old, FREE)?;
+    }
+    inner.base.set(parent, new_base as i32)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use tu_mmap::pagecache::PAGE_SIZE;
+
+    fn trie() -> (tempfile::TempDir, DoubleArrayTrie) {
+        let dir = tempfile::tempdir().unwrap();
+        let cache = PageCache::new(256 * PAGE_SIZE);
+        let t = DoubleArrayTrie::open(cache, dir.path().join("trie"), 4096).unwrap();
+        (dir, t)
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let (_d, t) = trie();
+        assert_eq!(t.insert(b"metric\x01cpu", 1).unwrap(), None);
+        assert_eq!(t.insert(b"metric\x01disk", 2).unwrap(), None);
+        assert_eq!(t.get(b"metric\x01cpu").unwrap(), Some(1));
+        assert_eq!(t.get(b"metric\x01disk").unwrap(), Some(2));
+        assert_eq!(t.get(b"metric\x01mem").unwrap(), None);
+        assert_eq!(t.get(b"metric").unwrap(), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let (_d, t) = trie();
+        assert_eq!(t.insert(b"k", 10).unwrap(), None);
+        assert_eq!(t.insert(b"k", 20).unwrap(), Some(10));
+        assert_eq!(t.get(b"k").unwrap(), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn prefix_keys_coexist() {
+        let (_d, t) = trie();
+        t.insert(b"a", 1).unwrap();
+        t.insert(b"ab", 2).unwrap();
+        t.insert(b"abc", 3).unwrap();
+        t.insert(b"", 0).unwrap();
+        assert_eq!(t.get(b"").unwrap(), Some(0));
+        assert_eq!(t.get(b"a").unwrap(), Some(1));
+        assert_eq!(t.get(b"ab").unwrap(), Some(2));
+        assert_eq!(t.get(b"abc").unwrap(), Some(3));
+        assert_eq!(t.get(b"abcd").unwrap(), None);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn paper_example_cpu_disk() {
+        // Figure 8: metric$cpu and metric$disk share the "metric$" spine
+        // and diverge into tails "pu" / "isk".
+        let (_d, t) = trie();
+        t.insert(b"metric$cpu", 100).unwrap();
+        t.insert(b"metric$disk", 200).unwrap();
+        assert_eq!(t.get(b"metric$cpu").unwrap(), Some(100));
+        assert_eq!(t.get(b"metric$disk").unwrap(), Some(200));
+        assert_eq!(t.get(b"metric$c").unwrap(), None);
+        assert_eq!(t.get(b"metric$cpux").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_prefix_enumerates_subtree() {
+        let (_d, t) = trie();
+        let keys: &[(&[u8], u64)] = &[
+            (b"host\x01h1", 1),
+            (b"host\x01h2", 2),
+            (b"host\x01h10", 3),
+            (b"metric\x01cpu", 4),
+        ];
+        for (k, v) in keys {
+            t.insert(k, *v).unwrap();
+        }
+        let mut seen = BTreeMap::new();
+        t.scan_prefix(b"host\x01", |k, v| {
+            seen.insert(k.to_vec(), v);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen.get(b"host\x01h10".as_slice()), Some(&3));
+        // Full scan sees everything.
+        let mut count = 0;
+        t.scan_prefix(b"", |_, _| {
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 4);
+        // Early stop works.
+        let mut count = 0;
+        t.scan_prefix(b"", |_, _| {
+            count += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn many_keys_force_relocations() {
+        let (_d, t) = trie();
+        let mut model = BTreeMap::new();
+        for i in 0..2000u64 {
+            let key = format!("tag{}\x01value{}", i % 37, i);
+            t.insert(key.as_bytes(), i).unwrap();
+            model.insert(key, i);
+        }
+        assert_eq!(t.len(), model.len() as u64);
+        for (k, v) in &model {
+            assert_eq!(t.get(k.as_bytes()).unwrap(), Some(*v), "key {k}");
+        }
+        assert_eq!(t.get(b"tag0\x01value2001").unwrap(), None);
+    }
+
+    #[test]
+    fn binary_keys_with_all_byte_values() {
+        let (_d, t) = trie();
+        let keys: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b, 255 - b, b]).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k).unwrap(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_contents() {
+        let dir = tempfile::tempdir().unwrap();
+        let cache = PageCache::new(256 * PAGE_SIZE);
+        {
+            let t = DoubleArrayTrie::open(cache.clone(), dir.path().join("t"), 4096).unwrap();
+            for i in 0..500u64 {
+                t.insert(format!("key-{i}").as_bytes(), i).unwrap();
+            }
+            t.sync(dir.path().join("t")).unwrap();
+        }
+        let t = DoubleArrayTrie::open(cache, dir.path().join("t"), 4096).unwrap();
+        assert_eq!(t.len(), 500);
+        for i in (0..500u64).step_by(41) {
+            assert_eq!(t.get(format!("key-{i}").as_bytes()).unwrap(), Some(i));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_matches_btreemap_model(
+            entries in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..20), any::<u64>()),
+                0..300,
+            ),
+            probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 0..50),
+        ) {
+            let (_d, t) = trie();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (k, v) in &entries {
+                let expected = model.insert(k.clone(), *v);
+                prop_assert_eq!(t.insert(k, *v).unwrap(), expected);
+            }
+            prop_assert_eq!(t.len(), model.len() as u64);
+            for (k, v) in &model {
+                prop_assert_eq!(t.get(k).unwrap(), Some(*v));
+            }
+            for probe in &probes {
+                prop_assert_eq!(t.get(probe).unwrap(), model.get(probe).copied());
+            }
+            // scan_prefix("") must enumerate exactly the model.
+            let mut seen: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            t.scan_prefix(b"", |k, v| { seen.insert(k.to_vec(), v); true }).unwrap();
+            prop_assert_eq!(seen, model);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The compaction cost model of §3.3 (Equations 7–10).
+//!
+//! The paper argues that keeping exactly one level on slow cloud storage
+//! avoids the multiplicative rewrite cost of a traditional leveled LSM.
+//! These closed forms back the `figures compaction-cost` experiment, which
+//! cross-checks them against the simulator's measured Put traffic.
+
+/// Parameters of the cost model (Table of §3.3).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Total data size `S_d` in bytes.
+    pub data_size: f64,
+    /// Topmost level size `S_b` in bytes (64 MB in the paper's example).
+    pub top_level_size: f64,
+    /// Level size multiplier `M` (10 in the paper's example).
+    pub multiplier: f64,
+    /// Fast-storage capacity `S_fast` in bytes (1 GB in the example).
+    pub fast_size: f64,
+}
+
+impl CostModel {
+    /// The paper's running example: Sb = 64 MB, M = 10, Sfast = 1 GB,
+    /// Sd = 100 GB.
+    pub fn paper_example() -> Self {
+        CostModel {
+            data_size: 100.0 * GB,
+            top_level_size: 64.0 * MB,
+            multiplier: 10.0,
+            fast_size: 1.0 * GB,
+        }
+    }
+
+    /// Equation 7: number of levels needed to hold `size` bytes.
+    pub fn levels_for(&self, size: f64) -> f64 {
+        ((size * (self.multiplier - 1.0) / self.top_level_size) + 1.0).log10()
+            / self.multiplier.log10()
+    }
+
+    /// `L`: levels for the whole dataset.
+    pub fn total_levels(&self) -> f64 {
+        self.levels_for(self.data_size)
+    }
+
+    /// `L_fast`: levels that fit in fast storage.
+    pub fn fast_levels(&self) -> f64 {
+        self.levels_for(self.fast_size)
+    }
+
+    /// Equation 8: bytes written to slow storage by a traditional
+    /// multi-level LSM — each slow level `l` (1-based beyond the fast
+    /// levels) rewrites its data `l` times on the way down.
+    pub fn traditional_slow_write_bytes(&self) -> f64 {
+        let l = self.total_levels().floor() as i64;
+        let lf = self.fast_levels().floor() as i64;
+        let mut cost = 0.0;
+        for i in 1..=(l - lf).max(0) {
+            cost += self.top_level_size * self.multiplier.powi((lf + i - 1) as i32) * i as f64;
+        }
+        cost
+    }
+
+    /// Equation 9: bytes written to slow storage with a single slow level —
+    /// every byte beyond fast storage is written exactly once.
+    pub fn single_level_slow_write_bytes(&self) -> f64 {
+        let l = self.total_levels().floor() as i64;
+        let lf = self.fast_levels().floor() as i64;
+        let mut cost = 0.0;
+        for i in 1..=(l - lf).max(0) {
+            cost += self.top_level_size * self.multiplier.powi((lf + i - 1) as i32);
+        }
+        cost
+    }
+
+    /// Equation 10: the saving of the single-level design.
+    pub fn saving_bytes(&self) -> f64 {
+        self.traditional_slow_write_bytes() - self.single_level_slow_write_bytes()
+    }
+}
+
+pub const KB: f64 = 1024.0;
+pub const MB: f64 = 1024.0 * KB;
+pub const GB: f64 = 1024.0 * MB;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_levels() {
+        // The paper computes L_fast = 2.2 and L = 4.2 for its example.
+        let m = CostModel::paper_example();
+        assert!((m.fast_levels() - 2.2).abs() < 0.1, "{}", m.fast_levels());
+        assert!((m.total_levels() - 4.2).abs() < 0.1, "{}", m.total_levels());
+    }
+
+    #[test]
+    fn paper_example_saves_at_least_64_gb() {
+        // "we can at least save 64GB of data write to slow storage" —
+        // exactly 1000 copies of the 64 MB top level (the paper's GB is
+        // 1000 x Sb, i.e. 62.5 GiB).
+        let m = CostModel::paper_example();
+        let expected = 1000.0 * m.top_level_size;
+        assert!(
+            (m.saving_bytes() - expected).abs() < 1.0,
+            "saving {} GiB, expected {} GiB",
+            m.saving_bytes() / GB,
+            expected / GB
+        );
+    }
+
+    #[test]
+    fn single_level_cost_equals_spill_size() {
+        // Equation 9 is Sd - Sfast restricted to whole levels: every byte
+        // that does not fit fast storage is written to slow storage once.
+        let m = CostModel::paper_example();
+        let single = m.single_level_slow_write_bytes();
+        let spill = m.data_size - m.fast_size;
+        // Whole-level flooring makes these agree only loosely.
+        assert!(single > 0.0 && single < m.data_size);
+        assert!(single <= spill * 1.1);
+    }
+
+    #[test]
+    fn traditional_cost_dominates() {
+        for data_gb in [10.0, 100.0, 1000.0] {
+            let m = CostModel {
+                data_size: data_gb * GB,
+                ..CostModel::paper_example()
+            };
+            assert!(
+                m.traditional_slow_write_bytes() >= m.single_level_slow_write_bytes(),
+                "at {data_gb} GB"
+            );
+        }
+    }
+
+    #[test]
+    fn no_slow_levels_means_no_cost() {
+        let m = CostModel {
+            data_size: 0.5 * GB,
+            fast_size: 1.0 * GB,
+            ..CostModel::paper_example()
+        };
+        assert_eq!(m.traditional_slow_write_bytes(), 0.0);
+        assert_eq!(m.single_level_slow_write_bytes(), 0.0);
+        assert_eq!(m.saving_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bloom filter for SSTable point lookups.
+//!
+//! Double hashing over a 64-bit seed hash, as in LevelDB's filter policy:
+//! `k` probe positions derived from one hash and its rotation.
+
+/// An immutable bloom filter over a set of keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+fn base_hash(key: &[u8]) -> u64 {
+    // FNV-1a, then a finalizing mix for better bit diffusion.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+impl BloomFilter {
+    /// Builds a filter over `keys` with `bits_per_key` bits of budget per
+    /// key (10 gives ~1% false positives).
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>, bits_per_key: usize) -> Self {
+        let n = keys.len().max(1);
+        let nbits = (n * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let nbits = nbytes * 8;
+        // Optimal k ≈ bits_per_key * ln 2.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let h = base_hash(key);
+            let delta = h.rotate_left(17) | 1;
+            let mut pos = h;
+            for _ in 0..k {
+                let bit = (pos % nbits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+                pos = pos.wrapping_add(delta);
+            }
+        }
+        BloomFilter { bits, k }
+    }
+
+    /// True if `key` may be in the set; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = self.bits.len() * 8;
+        if nbits == 0 {
+            return true;
+        }
+        let h = base_hash(key);
+        let delta = h.rotate_left(17) | 1;
+        let mut pos = h;
+        for _ in 0..self.k {
+            let bit = (pos % nbits as u64) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            pos = pos.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Serializes to `bits || k (1 byte)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.bits.clone();
+        out.push(self.k as u8);
+        out
+    }
+
+    /// Deserializes a filter produced by [`BloomFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&k, bits) = bytes.split_last()?;
+        Some(BloomFilter {
+            bits: bits.to_vec(),
+            k: k as u32,
+        })
+    }
+
+    /// Size of the serialized filter.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if f.may_contain(format!("absent-{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_is_valid() {
+        let f = BloomFilter::build(std::iter::empty(), 10);
+        // An empty set may report anything, but must not panic; with no
+        // bits set it reports absent.
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.byte_len());
+        let g = BloomFilter::from_bytes(&bytes).unwrap();
+        for k in &ks {
+            assert!(g.may_contain(k));
+        }
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn binary_keys_work() {
+        let ks: Vec<Vec<u8>> = (0..1000u64)
+            .map(|i| {
+                let mut k = i.to_be_bytes().to_vec();
+                k.extend_from_slice(&(i * 31).to_be_bytes());
+                k
+            })
+            .collect();
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+    }
+}

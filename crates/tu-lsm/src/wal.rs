@@ -1,0 +1,318 @@
+//! Write-ahead log with sequence-ID checkpoints (§3.3 "Logging").
+//!
+//! The paper disables LevelDB's log and keeps its own: every inserted data
+//! sample is logged under its series/group sequence ID; when a chunk
+//! reaches the LSM-tree a *checkpoint* record declares all earlier records
+//! of that series obsolete, and a background purge rewrites the log
+//! dropping them.
+//!
+//! Record framing: `[u32 LE length][u32 LE masked crc32c][payload]`. The
+//! payload encoding is the caller's business; this module provides the
+//! framing, replay, and checkpoint-driven purging over generic records
+//! tagged with `(stream id, sequence)`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tu_cloud::block::BlockStore;
+use tu_common::{Error, Result};
+use tu_compress::crc;
+
+/// A parsed WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Series or group the record belongs to.
+    pub stream: u64,
+    /// Per-stream sequence number, increasing.
+    pub seq: u64,
+    /// True for checkpoint records: all records of `stream` with
+    /// `seq <= this.seq` are obsolete.
+    pub checkpoint: bool,
+    /// Opaque payload (empty for checkpoints).
+    pub payload: Vec<u8>,
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(17 + self.payload.len());
+        body.push(self.checkpoint as u8);
+        body.extend_from_slice(&self.stream.to_le_bytes());
+        body.extend_from_slice(&self.seq.to_le_bytes());
+        body.extend_from_slice(&self.payload);
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc::mask(crc::crc32c(&body)).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(body: &[u8]) -> Result<Self> {
+        if body.len() < 17 {
+            return Err(Error::corruption("wal record body truncated"));
+        }
+        Ok(WalRecord {
+            checkpoint: body[0] != 0,
+            stream: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+            seq: u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")),
+            payload: body[17..].to_vec(),
+        })
+    }
+}
+
+/// A write-ahead log stored as one append-only file on the fast tier.
+pub struct Wal {
+    store: Arc<BlockStore>,
+    name: String,
+    /// Buffered records waiting for the next append; batching keeps the
+    /// per-sample logging cost off the insert path.
+    pending: Mutex<Vec<u8>>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log file `name` on `store`.
+    pub fn open(store: Arc<BlockStore>, name: impl Into<String>) -> Self {
+        Wal {
+            store,
+            name: name.into(),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queues a record; call [`Wal::flush`] to persist the batch.
+    pub fn append(&self, record: &WalRecord) {
+        self.pending.lock().extend_from_slice(&record.encode());
+    }
+
+    /// Persists all queued records.
+    pub fn flush(&self) -> Result<()> {
+        let mut pending = self.pending.lock();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut *pending);
+        self.store.append(&self.name, &batch)?;
+        Ok(())
+    }
+
+    /// Replays every intact record, oldest first. A torn tail (partial
+    /// final record, e.g. from a crash mid-append) ends the replay without
+    /// an error; a corrupt record in the middle is an error.
+    pub fn replay(&self) -> Result<Vec<WalRecord>> {
+        let bytes = match self.store.read_file(&self.name) {
+            Ok(b) => b,
+            Err(e) if e.is_not_found() => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            if off + 8 > bytes.len() {
+                break; // torn tail
+            }
+            let len =
+                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let stored = crc::unmask(u32::from_le_bytes(
+                bytes[off + 4..off + 8].try_into().expect("4 bytes"),
+            ));
+            let body_start = off + 8;
+            if body_start + len > bytes.len() {
+                break; // torn tail
+            }
+            let body = &bytes[body_start..body_start + len];
+            if crc::crc32c(body) != stored {
+                // A checksum mismatch that is not at the torn tail means
+                // real corruption.
+                if body_start + len == bytes.len() {
+                    break;
+                }
+                return Err(Error::corruption("wal record checksum mismatch"));
+            }
+            out.push(WalRecord::decode(body)?);
+            off = body_start + len;
+        }
+        Ok(out)
+    }
+
+    /// Rewrites the log keeping only records newer than their stream's
+    /// checkpoint (the background purge of §3.3). Returns how many records
+    /// were dropped.
+    pub fn purge(&self) -> Result<usize> {
+        self.flush()?;
+        let records = self.replay()?;
+        use std::collections::HashMap;
+        let mut watermark: HashMap<u64, u64> = HashMap::new();
+        for r in &records {
+            if r.checkpoint {
+                let w = watermark.entry(r.stream).or_insert(0);
+                *w = (*w).max(r.seq);
+            }
+        }
+        let mut kept = Vec::new();
+        let mut dropped = 0usize;
+        for r in &records {
+            let obsolete = !r.checkpoint
+                && watermark.get(&r.stream).is_some_and(|&w| r.seq <= w);
+            // Checkpoints themselves are kept only if still useful (some
+            // live record may follow with a later checkpoint superseding
+            // them; keeping the max per stream is enough).
+            let stale_checkpoint =
+                r.checkpoint && watermark.get(&r.stream).is_some_and(|&w| r.seq < w);
+            if obsolete || stale_checkpoint {
+                dropped += 1;
+            } else {
+                kept.extend_from_slice(&r.encode());
+            }
+        }
+        if dropped > 0 {
+            // Atomic replace: write the compacted log under a temp name.
+            let tmp = format!("{}.tmp", self.name);
+            self.store.write_file(&tmp, &kept)?;
+            let data = self.store.read_file(&tmp)?;
+            self.store.write_file(&self.name, &data)?;
+            self.store.delete(&tmp)?;
+        }
+        Ok(dropped)
+    }
+
+    /// Current log size in bytes (excluding unflushed records).
+    pub fn len(&self) -> u64 {
+        self.store.len(&self.name).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_cloud::cost::{CostClock, LatencyMode, LatencyModel};
+
+    fn wal() -> (tempfile::TempDir, Wal) {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Arc::new(
+            BlockStore::open(
+                dir.path().join("b"),
+                LatencyModel::ebs(),
+                CostClock::new(LatencyMode::Off),
+            )
+            .unwrap(),
+        );
+        (dir, Wal::open(store, "wal/log"))
+    }
+
+    fn rec(stream: u64, seq: u64, payload: &[u8]) -> WalRecord {
+        WalRecord {
+            stream,
+            seq,
+            checkpoint: false,
+            payload: payload.to_vec(),
+        }
+    }
+
+    fn ckpt(stream: u64, seq: u64) -> WalRecord {
+        WalRecord {
+            stream,
+            seq,
+            checkpoint: true,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn append_flush_replay_round_trip() {
+        let (_d, w) = wal();
+        let records = vec![rec(1, 1, b"a"), rec(2, 1, b"bb"), rec(1, 2, b"ccc")];
+        for r in &records {
+            w.append(r);
+        }
+        w.flush().unwrap();
+        assert_eq!(w.replay().unwrap(), records);
+    }
+
+    #[test]
+    fn replay_of_missing_log_is_empty() {
+        let (_d, w) = wal();
+        assert!(w.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unflushed_records_are_not_replayed() {
+        let (_d, w) = wal();
+        w.append(&rec(1, 1, b"x"));
+        assert!(w.replay().unwrap().is_empty());
+        w.flush().unwrap();
+        assert_eq!(w.replay().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let (_d, w) = wal();
+        w.append(&rec(1, 1, b"keep"));
+        w.flush().unwrap();
+        // Simulate a crash mid-append of a second record.
+        let partial = &rec(1, 2, b"lost").encode()[..7];
+        w.store.append("wal/log", partial).unwrap();
+        let got = w.replay().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"keep");
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let (_d, w) = wal();
+        w.append(&rec(1, 1, b"first"));
+        w.append(&rec(1, 2, b"second"));
+        w.flush().unwrap();
+        let mut bytes = w.store.read_file("wal/log").unwrap();
+        bytes[10] ^= 0xff; // inside the first record's body
+        w.store.write_file("wal/log", &bytes).unwrap();
+        assert!(w.replay().is_err());
+    }
+
+    #[test]
+    fn purge_drops_checkpointed_records() {
+        let (_d, w) = wal();
+        w.append(&rec(1, 1, b"s1-old"));
+        w.append(&rec(1, 2, b"s1-old2"));
+        w.append(&rec(2, 1, b"s2-live"));
+        w.append(&ckpt(1, 2));
+        w.append(&rec(1, 3, b"s1-live"));
+        let dropped = w.purge().unwrap();
+        assert_eq!(dropped, 2);
+        let got = w.replay().unwrap();
+        let payloads: Vec<&[u8]> = got.iter().map(|r| r.payload.as_slice()).collect();
+        assert!(payloads.contains(&b"s2-live".as_slice()));
+        assert!(payloads.contains(&b"s1-live".as_slice()));
+        assert!(!payloads.contains(&b"s1-old".as_slice()));
+        // The surviving checkpoint still guards stream 1.
+        assert!(got.iter().any(|r| r.checkpoint && r.stream == 1 && r.seq == 2));
+    }
+
+    #[test]
+    fn purge_keeps_only_newest_checkpoint_per_stream() {
+        let (_d, w) = wal();
+        w.append(&ckpt(1, 1));
+        w.append(&ckpt(1, 5));
+        w.append(&ckpt(1, 3));
+        w.purge().unwrap();
+        let got = w.replay().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 5);
+    }
+
+    #[test]
+    fn purge_shrinks_the_file() {
+        let (_d, w) = wal();
+        for seq in 1..=100 {
+            w.append(&rec(7, seq, &[0u8; 64]));
+        }
+        w.append(&ckpt(7, 90));
+        w.flush().unwrap();
+        let before = w.len();
+        w.purge().unwrap();
+        assert!(w.len() < before / 2, "{} -> {}", before, w.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! File-backed memory structures with an explicit page cache.
+//!
+//! The paper stores its big in-memory structures — the double-array trie,
+//! per-series tag sets, and the in-progress data-sample chunks — in
+//! dynamically growing *mmap file arrays* (§3.2, Figures 8 and 9), so that
+//! the OS can swap cold pages out instead of the process dying of OOM
+//! (Figure 16 shows exactly this happening at 7M+ series).
+//!
+//! Real `mmap` hides paging inside the kernel, which makes the behaviour
+//! impossible to assert on in tests and non-deterministic in benchmarks.
+//! This crate replaces it with an explicit equivalent:
+//!
+//! * [`pagecache::PageCache`] — a budgeted pool of 4 KiB pages over
+//!   registered files, with clock (second-chance) eviction, dirty-page
+//!   write-back, and swap counters. The resident pages are ordinary heap
+//!   allocations, so the workspace's tracking allocator sees them exactly
+//!   as RSS accounting would see mmap-resident pages.
+//! * [`file::PagedFile`] — byte-addressable file I/O through the cache.
+//! * [`segarr::SegArray`] — a growable typed array split across 1M-slot
+//!   file segments, used for the trie's Base/Check/Tail arrays.
+//! * [`chunkfile::ChunkArena`] — files split into fixed-size chunks with a
+//!   header allocation bitmap (Figure 9), used for in-progress sample
+//!   chunks of series and groups.
+
+pub mod chunkfile;
+pub mod file;
+pub mod pagecache;
+pub mod segarr;
+
+pub use chunkfile::{ChunkArena, ChunkHandle};
+pub use file::PagedFile;
+pub use pagecache::{CacheStats, PageCache};
+pub use segarr::SegArray;

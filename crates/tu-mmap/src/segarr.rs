@@ -1,0 +1,337 @@
+//! Growable typed arrays split across fixed-size file segments.
+//!
+//! The paper stores the trie's Base/Check/Tail arrays in "dynamic mmap file
+//! arrays": each file holds one million slots, and new files are appended
+//! when more slots are needed (§3.2). [`SegArray`] reproduces that layout
+//! over [`PagedFile`] segments.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::file::PagedFile;
+use crate::pagecache::PageCache;
+use tu_common::{Error, Result};
+
+/// Element types storable in a [`SegArray`]: fixed-width, little-endian.
+pub trait Element: Copy + Default {
+    const WIDTH: usize;
+    fn write_to(self, buf: &mut [u8]);
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $w:expr) => {
+        impl Element for $t {
+            const WIDTH: usize = $w;
+            #[inline]
+            fn write_to(self, buf: &mut [u8]) {
+                buf[..$w].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..$w].try_into().expect("width checked"))
+            }
+        }
+    };
+}
+
+impl_element!(u8, 1);
+impl_element!(i32, 4);
+impl_element!(u32, 4);
+impl_element!(u64, 8);
+impl_element!(i64, 8);
+
+/// A typed array of `T` backed by a sequence of file segments, each holding
+/// `slots_per_segment` elements. Segments are created on demand as the
+/// array grows; reads of never-written slots return `T::default()` (files
+/// are zero-filled, and all `Element` types decode zero bytes to default).
+pub struct SegArray<T: Element> {
+    cache: Arc<PageCache>,
+    dir: PathBuf,
+    name: String,
+    slots_per_segment: usize,
+    segments: RwLock<Vec<Arc<PagedFile>>>,
+    len: RwLock<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> SegArray<T> {
+    /// Opens (or creates) the array `name` under `dir`. Existing segment
+    /// files `name.seg-N` are picked up in order; the logical length is
+    /// persisted in a tiny `name.len` sidecar.
+    pub fn open(
+        cache: Arc<PageCache>,
+        dir: impl Into<PathBuf>,
+        name: &str,
+        slots_per_segment: usize,
+    ) -> Result<Self> {
+        assert!(slots_per_segment > 0);
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let arr = SegArray {
+            cache,
+            dir,
+            name: name.to_string(),
+            slots_per_segment,
+            segments: RwLock::new(Vec::new()),
+            len: RwLock::new(0),
+            _marker: std::marker::PhantomData,
+        };
+        // Recover segments and length.
+        let mut n = 0;
+        loop {
+            let path = arr.segment_path(n);
+            if !path.exists() {
+                break;
+            }
+            let f = PagedFile::open(arr.cache.clone(), path)?;
+            arr.segments.write().push(Arc::new(f));
+            n += 1;
+        }
+        let len_path = arr.len_path();
+        if len_path.exists() {
+            let bytes = std::fs::read(&len_path)?;
+            if bytes.len() != 8 {
+                return Err(Error::corruption("segment array length sidecar damaged"));
+            }
+            *arr.len.write() = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        }
+        Ok(arr)
+    }
+
+    fn segment_path(&self, n: usize) -> PathBuf {
+        self.dir.join(format!("{}.seg-{n}", self.name))
+    }
+
+    fn len_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.len", self.name))
+    }
+
+    /// Number of logical elements.
+    pub fn len(&self) -> u64 {
+        *self.len.read()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segment files currently backing the array.
+    pub fn segment_count(&self) -> usize {
+        self.segments.read().len()
+    }
+
+    fn locate(&self, idx: u64) -> (usize, u64) {
+        (
+            (idx / self.slots_per_segment as u64) as usize,
+            (idx % self.slots_per_segment as u64) * T::WIDTH as u64,
+        )
+    }
+
+    fn segment(&self, n: usize) -> Result<Arc<PagedFile>> {
+        {
+            let segs = self.segments.read();
+            if let Some(s) = segs.get(n) {
+                return Ok(s.clone());
+            }
+        }
+        let mut segs = self.segments.write();
+        while segs.len() <= n {
+            let f = PagedFile::open(self.cache.clone(), self.segment_path(segs.len()))?;
+            segs.push(Arc::new(f));
+        }
+        Ok(segs[n].clone())
+    }
+
+    /// Ensures the array is at least `new_len` elements long (new slots
+    /// read as `T::default()`).
+    pub fn resize(&self, new_len: u64) -> Result<()> {
+        let mut len = self.len.write();
+        if new_len > *len {
+            *len = new_len;
+            // Materialize the final segment so reads have a backing file.
+            let (seg, _) = self.locate(new_len - 1);
+            drop(len);
+            self.segment(seg)?;
+        }
+        Ok(())
+    }
+
+    /// Reads element `idx`. Out-of-range reads are an error.
+    pub fn get(&self, idx: u64) -> Result<T> {
+        if idx >= self.len() {
+            return Err(Error::invalid(format!(
+                "index {idx} out of bounds for {} elements",
+                self.len()
+            )));
+        }
+        let (seg_no, off) = self.locate(idx);
+        let seg = self.segment(seg_no)?;
+        let mut buf = [0u8; 8];
+        let end = off + T::WIDTH as u64;
+        if end > seg.len() {
+            // Slot inside a hole that was never written: default value.
+            return Ok(T::default());
+        }
+        seg.read_at(off, &mut buf[..T::WIDTH])?;
+        Ok(T::read_from(&buf[..T::WIDTH]))
+    }
+
+    /// Reads `count` consecutive elements starting at `idx`, clamped to
+    /// the array length. Fetches whole segment ranges at once — the bulk
+    /// path for trie child scans, which would otherwise pay one
+    /// page-cache round trip per slot.
+    pub fn get_range(&self, idx: u64, count: usize) -> Result<Vec<T>> {
+        let len = self.len();
+        if idx >= len {
+            return Ok(Vec::new());
+        }
+        let count = count.min((len - idx) as usize);
+        let mut out = Vec::with_capacity(count);
+        let mut pos = idx;
+        let mut remaining = count;
+        let mut buf = Vec::new();
+        while remaining > 0 {
+            let (seg_no, off) = self.locate(pos);
+            let in_segment = self.slots_per_segment
+                - (pos % self.slots_per_segment as u64) as usize;
+            let n = in_segment.min(remaining);
+            let seg = self.segment(seg_no)?;
+            let want = n * T::WIDTH;
+            buf.clear();
+            buf.resize(want, 0);
+            let avail = seg.len().saturating_sub(off) as usize;
+            let readable = avail.min(want) / T::WIDTH * T::WIDTH;
+            if readable > 0 {
+                seg.read_at(off, &mut buf[..readable])?;
+            }
+            for i in 0..n {
+                let start = i * T::WIDTH;
+                if start + T::WIDTH <= readable {
+                    out.push(T::read_from(&buf[start..start + T::WIDTH]));
+                } else {
+                    out.push(T::default()); // hole past the file end
+                }
+            }
+            pos += n as u64;
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// Writes element `idx`, growing the array if `idx >= len`.
+    pub fn set(&self, idx: u64, value: T) -> Result<()> {
+        if idx >= self.len() {
+            self.resize(idx + 1)?;
+        }
+        let (seg_no, off) = self.locate(idx);
+        let seg = self.segment(seg_no)?;
+        let mut buf = [0u8; 8];
+        value.write_to(&mut buf[..T::WIDTH]);
+        seg.write_at(off, &buf[..T::WIDTH])
+    }
+
+    /// Appends an element, returning its index.
+    pub fn push(&self, value: T) -> Result<u64> {
+        let idx = {
+            let mut len = self.len.write();
+            let idx = *len;
+            *len += 1;
+            idx
+        };
+        let (seg_no, off) = self.locate(idx);
+        let seg = self.segment(seg_no)?;
+        let mut buf = [0u8; 8];
+        value.write_to(&mut buf[..T::WIDTH]);
+        seg.write_at(off, &buf[..T::WIDTH])?;
+        Ok(idx)
+    }
+
+    /// Flushes dirty pages and persists the logical length.
+    pub fn sync(&self) -> Result<()> {
+        for seg in self.segments.read().iter() {
+            seg.sync()?;
+        }
+        std::fs::write(self.len_path(), self.len().to_le_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagecache::PAGE_SIZE;
+
+    fn arr<T: Element>(slots: usize) -> (tempfile::TempDir, SegArray<T>) {
+        let dir = tempfile::tempdir().unwrap();
+        let cache = PageCache::new(64 * PAGE_SIZE);
+        let a = SegArray::open(cache, dir.path().join("arr"), "test", slots).unwrap();
+        (dir, a)
+    }
+
+    #[test]
+    fn push_get_set_round_trip() {
+        let (_d, a) = arr::<i32>(1000);
+        assert_eq!(a.push(-5).unwrap(), 0);
+        assert_eq!(a.push(7).unwrap(), 1);
+        assert_eq!(a.get(0).unwrap(), -5);
+        a.set(0, 99).unwrap();
+        assert_eq!(a.get(0).unwrap(), 99);
+        assert_eq!(a.len(), 2);
+        assert!(a.get(2).is_err());
+    }
+
+    #[test]
+    fn growth_spans_segments() {
+        let (_d, a) = arr::<u64>(100); // tiny segments to force several files
+        for i in 0..1000u64 {
+            a.set(i, i * 3).unwrap();
+        }
+        assert_eq!(a.segment_count(), 10);
+        for i in (0..1000u64).step_by(97) {
+            assert_eq!(a.get(i).unwrap(), i * 3);
+        }
+    }
+
+    #[test]
+    fn sparse_set_reads_default_in_holes() {
+        let (_d, a) = arr::<u32>(50);
+        a.set(120, 7).unwrap();
+        assert_eq!(a.len(), 121);
+        assert_eq!(a.get(0).unwrap(), 0);
+        assert_eq!(a.get(119).unwrap(), 0);
+        assert_eq!(a.get(120).unwrap(), 7);
+    }
+
+    #[test]
+    fn resize_extends_with_defaults() {
+        let (_d, a) = arr::<u8>(64);
+        a.resize(200).unwrap();
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.get(199).unwrap(), 0);
+        // Shrinking is not supported: resize to smaller is a no-op.
+        a.resize(10).unwrap();
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn reopen_recovers_contents_and_length() {
+        let dir = tempfile::tempdir().unwrap();
+        let cache = PageCache::new(64 * PAGE_SIZE);
+        {
+            let a: SegArray<i64> =
+                SegArray::open(cache.clone(), dir.path().join("arr"), "t", 128).unwrap();
+            for i in 0..300 {
+                a.push(i * i).unwrap();
+            }
+            a.sync().unwrap();
+        }
+        let a: SegArray<i64> = SegArray::open(cache, dir.path().join("arr"), "t", 128).unwrap();
+        assert_eq!(a.len(), 300);
+        assert_eq!(a.segment_count(), 3);
+        assert_eq!(a.get(17).unwrap(), 17 * 17);
+        assert_eq!(a.get(299).unwrap(), 299 * 299);
+    }
+}

@@ -1,0 +1,393 @@
+//! The TSBS DevOps dataset: hosts × 101 metrics with 10 host tags.
+//!
+//! Matches the cardinalities the paper quotes ("each host contains 101
+//! timeseries", §4.2; `S_g = 101, T_g = 1` in the grouping analysis).
+//! Values are deterministic functions of `(seed, host, metric, step)` so
+//! runs are reproducible without per-series RNG state.
+
+use tu_common::{Labels, Timestamp, Value};
+
+/// The 9 measurement families and their field names — 101 metrics total.
+pub const MEASUREMENTS: &[(&str, &[&str])] = &[
+    (
+        "cpu",
+        &[
+            "usage_user",
+            "usage_system",
+            "usage_idle",
+            "usage_nice",
+            "usage_iowait",
+            "usage_irq",
+            "usage_softirq",
+            "usage_steal",
+            "usage_guest",
+            "usage_guest_nice",
+        ],
+    ),
+    (
+        "diskio",
+        &[
+            "reads",
+            "writes",
+            "read_bytes",
+            "write_bytes",
+            "read_time",
+            "write_time",
+            "io_time",
+        ],
+    ),
+    (
+        "disk",
+        &[
+            "total",
+            "free",
+            "used",
+            "used_percent",
+            "inodes_total",
+            "inodes_free",
+            "inodes_used",
+        ],
+    ),
+    (
+        "kernel",
+        &[
+            "boot_time",
+            "interrupts",
+            "context_switches",
+            "processes_forked",
+            "disk_pages_in",
+        ],
+    ),
+    (
+        "mem",
+        &[
+            "total",
+            "available",
+            "used",
+            "free",
+            "cached",
+            "buffered",
+            "used_percent",
+            "available_percent",
+        ],
+    ),
+    (
+        "net",
+        &[
+            "bytes_sent",
+            "bytes_recv",
+            "packets_sent",
+            "packets_recv",
+            "err_in",
+            "err_out",
+            "drop_in",
+        ],
+    ),
+    (
+        "nginx",
+        &[
+            "accepts", "active", "handled", "reading", "requests", "waiting", "writing",
+        ],
+    ),
+    (
+        "postgresl",
+        &[
+            "numbackends",
+            "xact_commit",
+            "xact_rollback",
+            "blks_read",
+            "blks_hit",
+            "tup_returned",
+            "tup_fetched",
+            "tup_inserted",
+            "tup_updated",
+            "tup_deleted",
+            "conflicts",
+            "temp_files",
+            "temp_bytes",
+            "deadlocks",
+            "blk_read_time",
+            "blk_write_time",
+            "buffers_checkpoint",
+            "buffers_clean",
+            "buffers_backend",
+            "maxwritten_clean",
+        ],
+    ),
+    (
+        "redis",
+        &[
+            "uptime_in_seconds",
+            "total_connections_received",
+            "expired_keys",
+            "evicted_keys",
+            "keyspace_hits",
+            "keyspace_misses",
+            "instantaneous_ops_per_sec",
+            "instantaneous_input_kbps",
+            "instantaneous_output_kbps",
+            "connected_clients",
+            "used_memory",
+            "used_memory_rss",
+            "used_memory_peak",
+            "used_memory_lua",
+            "rdb_changes_since_last_save",
+            "sync_full",
+            "sync_partial_ok",
+            "sync_partial_err",
+            "pubsub_channels",
+            "pubsub_patterns",
+            "latest_fork_usec",
+            "connected_slaves",
+            "master_repl_offset",
+            "repl_backlog_active",
+            "repl_backlog_size",
+            "repl_backlog_histlen",
+            "mem_fragmentation_ratio",
+            "used_cpu_sys",
+            "used_cpu_user",
+            "total_commands_processed",
+        ],
+    ),
+];
+
+/// Number of metrics each host exports.
+pub const METRICS_PER_HOST: usize = 101;
+
+const REGIONS: &[&str] = &[
+    "us-east-1",
+    "us-west-1",
+    "us-west-2",
+    "eu-west-1",
+    "eu-central-1",
+    "ap-southeast-1",
+    "ap-southeast-2",
+    "ap-northeast-1",
+    "sa-east-1",
+];
+const OSES: &[&str] = &["Ubuntu16.10", "Ubuntu16.04LTS", "Ubuntu15.10"];
+const ARCHES: &[&str] = &["x64", "x86"];
+const SERVICES: &[&str] = &["6", "11", "18", "2", "9", "14"];
+const TEAMS: &[&str] = &["SF", "NYC", "LON", "CHI"];
+const ENVS: &[&str] = &["production", "staging", "test"];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DevOpsOptions {
+    pub hosts: usize,
+    /// First scrape timestamp (ms).
+    pub start_ms: Timestamp,
+    /// Scrape interval (ms). The paper uses 60 s, 30 s, and 10 s.
+    pub interval_ms: i64,
+    /// Total covered time span (ms); scrapes are at
+    /// `start + k*interval < start + duration`.
+    pub duration_ms: i64,
+    pub seed: u64,
+}
+
+impl Default for DevOpsOptions {
+    fn default() -> Self {
+        DevOpsOptions {
+            hosts: 10,
+            start_ms: 0,
+            interval_ms: 60_000,
+            duration_ms: 24 * 3_600_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The DevOps dataset generator.
+#[derive(Debug, Clone)]
+pub struct DevOpsGenerator {
+    opts: DevOpsOptions,
+    metric_names: Vec<String>,
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl DevOpsGenerator {
+    pub fn new(opts: DevOpsOptions) -> Self {
+        let metric_names = MEASUREMENTS
+            .iter()
+            .flat_map(|(m, fields)| fields.iter().map(move |f| format!("{m}_{f}")))
+            .collect::<Vec<_>>();
+        assert_eq!(metric_names.len(), METRICS_PER_HOST);
+        DevOpsGenerator { opts, metric_names }
+    }
+
+    pub fn options(&self) -> &DevOpsOptions {
+        &self.opts
+    }
+
+    /// All 101 metric names, `measurement_field` style.
+    pub fn metric_names(&self) -> &[String] {
+        &self.metric_names
+    }
+
+    /// Number of scrape rounds in the configured span.
+    pub fn steps(&self) -> i64 {
+        (self.opts.duration_ms + self.opts.interval_ms - 1) / self.opts.interval_ms
+    }
+
+    /// Timestamp of scrape round `step`.
+    pub fn ts_of(&self, step: i64) -> Timestamp {
+        self.opts.start_ms + step * self.opts.interval_ms
+    }
+
+    /// End of the covered range (exclusive).
+    pub fn end_ms(&self) -> Timestamp {
+        self.opts.start_ms + self.opts.duration_ms
+    }
+
+    /// The 10 host tags of `host` (TSBS's hostname, region, datacenter,
+    /// rack, os, arch, team, service, service_version,
+    /// service_environment).
+    pub fn host_labels(&self, host: usize) -> Labels {
+        let h = splitmix(self.opts.seed ^ host as u64);
+        let region = REGIONS[(h % REGIONS.len() as u64) as usize];
+        Labels::from_pairs([
+            ("hostname", format!("host_{host}")),
+            ("region", region.to_string()),
+            ("datacenter", format!("{region}{}", (h >> 8) % 3 + 1)),
+            ("rack", format!("{}", (h >> 16) % 100)),
+            ("os", OSES[((h >> 24) % OSES.len() as u64) as usize].to_string()),
+            (
+                "arch",
+                ARCHES[((h >> 32) % ARCHES.len() as u64) as usize].to_string(),
+            ),
+            (
+                "team",
+                TEAMS[((h >> 36) % TEAMS.len() as u64) as usize].to_string(),
+            ),
+            (
+                "service",
+                SERVICES[((h >> 40) % SERVICES.len() as u64) as usize].to_string(),
+            ),
+            ("service_version", format!("{}", (h >> 44) % 2)),
+            (
+                "service_environment",
+                ENVS[((h >> 48) % ENVS.len() as u64) as usize].to_string(),
+            ),
+        ])
+    }
+
+    /// The full tag set of one timeseries: host tags plus the metric name.
+    pub fn series_labels(&self, host: usize, metric: usize) -> Labels {
+        let mut l = self.host_labels(host);
+        l.set("metric", self.metric_names[metric].clone());
+        l
+    }
+
+    /// The deterministic value of `(host, metric)` at scrape `step`: a
+    /// bounded random walk in `[0, 100)`.
+    pub fn value(&self, host: usize, metric: usize, step: i64) -> Value {
+        let base = splitmix(self.opts.seed ^ ((host as u64) << 32) ^ metric as u64);
+        // A slow sinusoid plus hash noise, bounded to [0, 100).
+        let phase = (base % 1000) as f64 / 1000.0;
+        let wave = ((step as f64 / 37.0 + phase * std::f64::consts::TAU).sin() + 1.0) * 40.0;
+        let noise = (splitmix(base ^ step as u64) % 2000) as f64 / 100.0;
+        wave + noise
+    }
+
+    /// Iterates scrape rounds: `(step, timestamp)`.
+    pub fn scrape_times(&self) -> impl Iterator<Item = (i64, Timestamp)> + '_ {
+        (0..self.steps()).map(move |s| (s, self.ts_of(s)))
+    }
+
+    /// All values of one host at one scrape round, metric order.
+    pub fn host_row(&self, host: usize, step: i64) -> Vec<Value> {
+        (0..METRICS_PER_HOST)
+            .map(|m| self.value(host, m, step))
+            .collect()
+    }
+
+    /// Total number of samples the configured workload generates.
+    pub fn total_samples(&self) -> u64 {
+        self.opts.hosts as u64 * METRICS_PER_HOST as u64 * self.steps() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_101_metrics() {
+        let total: usize = MEASUREMENTS.iter().map(|(_, f)| f.len()).sum();
+        assert_eq!(total, 101);
+        let gen = DevOpsGenerator::new(DevOpsOptions::default());
+        assert_eq!(gen.metric_names().len(), 101);
+        // Names are unique.
+        let mut names = gen.metric_names().to_vec();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 101);
+    }
+
+    #[test]
+    fn hosts_have_10_tags_and_unique_hostnames() {
+        let gen = DevOpsGenerator::new(DevOpsOptions::default());
+        let l0 = gen.host_labels(0);
+        assert_eq!(l0.len(), 10);
+        assert_eq!(l0.get("hostname"), Some("host_0"));
+        assert_ne!(
+            gen.host_labels(1).get("hostname"),
+            l0.get("hostname")
+        );
+        // Series labels add the metric tag -> 11 tags (the `T` of Eq 1).
+        assert_eq!(gen.series_labels(0, 0).len(), 11);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DevOpsGenerator::new(DevOpsOptions::default());
+        let b = DevOpsGenerator::new(DevOpsOptions::default());
+        for host in 0..3 {
+            assert_eq!(a.host_labels(host), b.host_labels(host));
+            for step in 0..5 {
+                assert_eq!(a.host_row(host, step), b.host_row(host, step));
+            }
+        }
+        let c = DevOpsGenerator::new(DevOpsOptions {
+            seed: 999,
+            ..DevOpsOptions::default()
+        });
+        assert_ne!(a.value(0, 0, 0), c.value(0, 0, 0));
+    }
+
+    #[test]
+    fn values_are_bounded_and_vary() {
+        let gen = DevOpsGenerator::new(DevOpsOptions::default());
+        let mut distinct = std::collections::BTreeSet::new();
+        for step in 0..200 {
+            let v = gen.value(3, 7, step);
+            assert!((0.0..110.0).contains(&v), "{v}");
+            distinct.insert((v * 100.0) as i64);
+        }
+        assert!(distinct.len() > 50, "values should vary");
+    }
+
+    #[test]
+    fn timing_math() {
+        let gen = DevOpsGenerator::new(DevOpsOptions {
+            hosts: 2,
+            start_ms: 1000,
+            interval_ms: 30_000,
+            duration_ms: 120_000,
+            seed: 1,
+        });
+        assert_eq!(gen.steps(), 4);
+        assert_eq!(gen.ts_of(0), 1000);
+        assert_eq!(gen.ts_of(3), 91_000);
+        assert_eq!(gen.end_ms(), 121_000);
+        assert_eq!(gen.total_samples(), 2 * 101 * 4);
+        assert_eq!(gen.scrape_times().count(), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! TSBS workloads for the TimeUnion evaluation (§4.2/§4.3).
+//!
+//! Reimplements the parts of the Time Series Benchmark Suite the paper
+//! consumes:
+//!
+//! * [`devops`] — the DevOps dataset: hosts carrying 10 tags, each
+//!   exporting 101 metrics across 9 measurement families (cpu, diskio,
+//!   disk, kernel, mem, net, nginx, postgresl, redis), scraped at a fixed
+//!   interval with deterministic pseudo-random-walk values.
+//! * [`queries`] — the query patterns of Table 2 (1-1-1 … 5-8-1,
+//!   lastpoint) plus the 1-1-all / 5-1-all patterns Figure 15 adds.
+//! * [`ooo`] — out-of-order sample injection for the Figure 18b
+//!   experiment (p5/p10/p20 late-data volumes).
+
+pub mod devops;
+pub mod ooo;
+pub mod queries;
+
+pub use devops::{DevOpsGenerator, DevOpsOptions};
+pub use queries::{QueryPattern, QuerySpec};

@@ -1,0 +1,107 @@
+//! Out-of-order workload injection (Figure 18b).
+//!
+//! After the in-order load, the paper "randomly inserts different portions
+//! of out-of-order data of randomly picked timeseries" — p5 means late
+//! data equal to 5% of the normal volume. This module produces that late
+//! stream deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::devops::{DevOpsGenerator, METRICS_PER_HOST};
+use tu_common::{Timestamp, Value};
+
+/// One late sample: which series, when, and what value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateSample {
+    pub host: usize,
+    pub metric: usize,
+    pub t: Timestamp,
+    pub v: Value,
+}
+
+/// Generates `fraction` (e.g. 0.05 for p5) of the normal data volume as
+/// out-of-order samples, uniformly over hosts, metrics, and past scrape
+/// times. Timestamps are offset by half an interval so they do not
+/// collide with in-order samples.
+pub fn late_samples(
+    gen: &DevOpsGenerator,
+    fraction: f64,
+    seed: u64,
+) -> impl Iterator<Item = LateSample> + '_ {
+    assert!((0.0..=1.0).contains(&fraction));
+    let total = (gen.total_samples() as f64 * fraction) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hosts = gen.options().hosts;
+    let steps = gen.steps().max(1);
+    let half = gen.options().interval_ms / 2;
+    (0..total).map(move |_| {
+        let host = rng.gen_range(0..hosts);
+        let metric = rng.gen_range(0..METRICS_PER_HOST);
+        let step = rng.gen_range(0..steps);
+        LateSample {
+            host,
+            metric,
+            t: gen.ts_of(step) + half.max(1),
+            v: gen.value(host, metric, step) + 0.5,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devops::DevOpsOptions;
+
+    fn gen() -> DevOpsGenerator {
+        DevOpsGenerator::new(DevOpsOptions {
+            hosts: 4,
+            start_ms: 0,
+            interval_ms: 60_000,
+            duration_ms: 3_600_000,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn volume_matches_fraction() {
+        let g = gen();
+        let n = late_samples(&g, 0.05, 42).count() as f64;
+        let expect = g.total_samples() as f64 * 0.05;
+        assert!((n - expect).abs() <= 1.0, "{n} vs {expect}");
+        assert_eq!(late_samples(&g, 0.0, 42).count(), 0);
+    }
+
+    #[test]
+    fn samples_fall_inside_the_loaded_span() {
+        let g = gen();
+        for s in late_samples(&g, 0.2, 7) {
+            assert!(s.host < 4);
+            assert!(s.metric < METRICS_PER_HOST);
+            assert!(s.t >= g.options().start_ms);
+            assert!(s.t < g.end_ms() + g.options().interval_ms);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen();
+        let a: Vec<LateSample> = late_samples(&g, 0.1, 9).collect();
+        let b: Vec<LateSample> = late_samples(&g, 0.1, 9).collect();
+        assert_eq!(a, b);
+        let c: Vec<LateSample> = late_samples(&g, 0.1, 10).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offsets_avoid_in_order_collisions() {
+        let g = gen();
+        for s in late_samples(&g, 0.1, 3).take(100) {
+            assert_ne!(
+                (s.t - g.options().start_ms) % g.options().interval_ms,
+                0,
+                "late samples must not collide with scrape points"
+            );
+        }
+    }
+}

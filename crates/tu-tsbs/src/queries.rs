@@ -1,0 +1,247 @@
+//! The TSBS query patterns of Table 2, plus the `*-all` patterns added by
+//! the big-timeseries evaluation (Figure 15).
+//!
+//! Pattern `M-H-D` aggregates (MAX) `M` metrics of `H` hosts every 5
+//! minutes over `D` hours (or the whole span for `all`). `lastpoint`
+//! fetches the last reading of one CPU metric of one host.
+
+use crate::devops::DevOpsGenerator;
+use tu_common::Timestamp;
+use tu_index::Selector;
+
+/// Aggregation step used by all range patterns: 5 minutes.
+pub const STEP_MS: i64 = 5 * 60_000;
+
+/// A TSBS query pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPattern {
+    /// 1 metric, 1 host, 1 hour.
+    P1x1x1,
+    /// 1 metric, 1 host, 24 hours.
+    P1x1x24,
+    /// 1 metric, 8 hosts, 1 hour.
+    P1x8x1,
+    /// 5 metrics, 1 host, 1 hour.
+    P5x1x1,
+    /// 5 metrics, 1 host, 24 hours.
+    P5x1x24,
+    /// 5 metrics, 8 hosts, 1 hour.
+    P5x8x1,
+    /// Last reading of 1 CPU metric of one host.
+    LastPoint,
+    /// 1 metric, 1 host, the whole time span (Figure 15).
+    P1x1xAll,
+    /// 5 metrics, 1 host, the whole time span (Figure 15).
+    P5x1xAll,
+}
+
+impl QueryPattern {
+    /// The Table 2 patterns in the paper's order.
+    pub fn table2() -> &'static [QueryPattern] {
+        &[
+            QueryPattern::P1x1x1,
+            QueryPattern::P1x1x24,
+            QueryPattern::P1x8x1,
+            QueryPattern::P5x1x1,
+            QueryPattern::P5x1x24,
+            QueryPattern::P5x8x1,
+            QueryPattern::LastPoint,
+        ]
+    }
+
+    /// All patterns including the Figure 15 additions.
+    pub fn all() -> &'static [QueryPattern] {
+        &[
+            QueryPattern::P1x1x1,
+            QueryPattern::P1x1x24,
+            QueryPattern::P1x8x1,
+            QueryPattern::P5x1x1,
+            QueryPattern::P5x1x24,
+            QueryPattern::P5x8x1,
+            QueryPattern::LastPoint,
+            QueryPattern::P1x1xAll,
+            QueryPattern::P5x1xAll,
+        ]
+    }
+
+    /// The paper's name for the pattern (e.g. "5-1-24").
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryPattern::P1x1x1 => "1-1-1",
+            QueryPattern::P1x1x24 => "1-1-24",
+            QueryPattern::P1x8x1 => "1-8-1",
+            QueryPattern::P5x1x1 => "5-1-1",
+            QueryPattern::P5x1x24 => "5-1-24",
+            QueryPattern::P5x8x1 => "5-8-1",
+            QueryPattern::LastPoint => "lastpoint",
+            QueryPattern::P1x1xAll => "1-1-all",
+            QueryPattern::P5x1xAll => "5-1-all",
+        }
+    }
+
+    fn metrics(&self) -> usize {
+        match self {
+            QueryPattern::P1x1x1
+            | QueryPattern::P1x1x24
+            | QueryPattern::P1x8x1
+            | QueryPattern::LastPoint
+            | QueryPattern::P1x1xAll => 1,
+            _ => 5,
+        }
+    }
+
+    fn hosts(&self) -> usize {
+        match self {
+            QueryPattern::P1x8x1 | QueryPattern::P5x8x1 => 8,
+            _ => 1,
+        }
+    }
+
+    fn hours(&self) -> Option<i64> {
+        match self {
+            QueryPattern::P1x1x24 | QueryPattern::P5x1x24 => Some(24),
+            QueryPattern::P1x1xAll | QueryPattern::P5x1xAll | QueryPattern::LastPoint => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Builds a concrete query against the generated dataset.
+    /// `pick` seeds which hosts/metrics are chosen, so repeated calls can
+    /// vary targets deterministically.
+    pub fn spec(&self, gen: &DevOpsGenerator, pick: u64) -> QuerySpec {
+        let n_hosts = gen.options().hosts.max(1);
+        let first_host = (pick as usize) % n_hosts;
+        let hosts: Vec<usize> = (0..self.hosts().min(n_hosts))
+            .map(|i| (first_host + i) % n_hosts)
+            .collect();
+        // TSBS draws from the CPU family (10 metrics).
+        let metric_names: Vec<String> = (0..self.metrics())
+            .map(|i| gen.metric_names()[((pick as usize) + i) % 10].clone())
+            .collect();
+        let mut selectors = Vec::with_capacity(2);
+        selectors.push(if hosts.len() == 1 {
+            Selector::exact("hostname", format!("host_{}", hosts[0]))
+        } else {
+            let alts: Vec<String> = hosts.iter().map(|h| format!("host_{h}")).collect();
+            Selector::regex("hostname", &format!("({})", alts.join("|")))
+                .expect("generated pattern is valid")
+        });
+        selectors.push(if metric_names.len() == 1 {
+            Selector::exact("metric", metric_names[0].clone())
+        } else {
+            Selector::regex("metric", &format!("({})", metric_names.join("|")))
+                .expect("generated pattern is valid")
+        });
+        let end = gen.end_ms();
+        let start = match (self, self.hours()) {
+            (QueryPattern::LastPoint, _) => {
+                // The last reading: scan the final interval only.
+                end - gen.options().interval_ms * 2
+            }
+            (_, Some(h)) => (end - h * 3_600_000).max(gen.options().start_ms),
+            (_, None) => gen.options().start_ms,
+        };
+        QuerySpec {
+            pattern: *self,
+            selectors,
+            start,
+            end,
+            step_ms: STEP_MS,
+        }
+    }
+}
+
+/// A concrete query: selectors plus range and aggregation step.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub pattern: QueryPattern,
+    pub selectors: Vec<Selector>,
+    pub start: Timestamp,
+    pub end: Timestamp,
+    pub step_ms: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devops::DevOpsOptions;
+
+    fn gen() -> DevOpsGenerator {
+        DevOpsGenerator::new(DevOpsOptions {
+            hosts: 16,
+            start_ms: 0,
+            interval_ms: 60_000,
+            duration_ms: 48 * 3_600_000,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = QueryPattern::table2().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["1-1-1", "1-1-24", "1-8-1", "5-1-1", "5-1-24", "5-8-1", "lastpoint"]
+        );
+        assert_eq!(QueryPattern::all().len(), 9);
+    }
+
+    #[test]
+    fn ranges_match_pattern_durations() {
+        let g = gen();
+        let q = QueryPattern::P1x1x1.spec(&g, 0);
+        assert_eq!(q.end - q.start, 3_600_000);
+        let q = QueryPattern::P5x1x24.spec(&g, 0);
+        assert_eq!(q.end - q.start, 24 * 3_600_000);
+        let q = QueryPattern::P1x1xAll.spec(&g, 0);
+        assert_eq!(q.end - q.start, 48 * 3_600_000);
+    }
+
+    #[test]
+    fn selector_shapes() {
+        let g = gen();
+        let q = QueryPattern::P1x1x1.spec(&g, 3);
+        assert_eq!(q.selectors.len(), 2);
+        assert!(!q.selectors[0].is_regex(), "single host is exact");
+        assert!(!q.selectors[1].is_regex(), "single metric is exact");
+        let q = QueryPattern::P5x8x1.spec(&g, 3);
+        assert!(q.selectors[0].is_regex());
+        assert!(q.selectors[1].is_regex());
+        assert!(q.selectors[0].matches_value("host_3"));
+        assert!(q.selectors[0].matches_value("host_10"));
+        assert!(!q.selectors[0].matches_value("host_11"));
+    }
+
+    #[test]
+    fn metrics_come_from_the_cpu_family() {
+        let g = gen();
+        for pick in 0..10 {
+            let q = QueryPattern::P5x1x1.spec(&g, pick);
+            for name in g.metric_names().iter().take(10) {
+                // Each chosen metric must be one of the first 10 (cpu_*).
+                let _ = name;
+            }
+            let matched: Vec<&String> = g
+                .metric_names()
+                .iter()
+                .filter(|m| q.selectors[1].matches_value(m))
+                .collect();
+            assert_eq!(matched.len(), 5, "pick {pick}");
+            assert!(matched.iter().all(|m| m.starts_with("cpu_")));
+        }
+    }
+
+    #[test]
+    fn picks_wrap_around_host_count() {
+        let g = DevOpsGenerator::new(DevOpsOptions {
+            hosts: 4,
+            ..DevOpsOptions::default()
+        });
+        let q = QueryPattern::P1x8x1.spec(&g, 2);
+        // Only 4 hosts exist; the pattern clamps.
+        let matched = (0..4)
+            .filter(|h| q.selectors[0].matches_value(&format!("host_{h}")))
+            .count();
+        assert_eq!(matched, 4);
+    }
+}

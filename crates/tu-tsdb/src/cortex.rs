@@ -1,0 +1,167 @@
+//! A Cortex simulator for the end-to-end comparison (§4.2, Figure 13).
+//!
+//! Cortex routes Prometheus remote-write requests through a chain of
+//! internal components (distributor → ingester, queriers → store-gateway)
+//! over gRPC, and persists with the Prometheus tsdb storage engine whose
+//! files are wrapped onto cloud storage. The paper attributes Cortex's
+//! measured gaps to
+//!
+//! 1. per-request gRPC hops accumulating on the HTTP insert path
+//!    (Figure 13a), and
+//! 2. whole-index loads from S3 on the query path ("the index reading of
+//!    Cortex is inefficient where it needs to load the whole index into
+//!    memory in advance", Figure 13b).
+//!
+//! The simulator runs the real [`Tsdb`] baseline underneath and charges
+//! both effects on the storage cost clock, so end-to-end comparisons
+//! reproduce the shapes without a Go runtime.
+
+use tu_cloud::StorageEnv;
+use tu_common::{Labels, Result, Sample, Timestamp, Value};
+
+use crate::tsdb::{Tsdb, TsdbOptions};
+
+/// Modelled front-end costs.
+#[derive(Debug, Clone, Copy)]
+pub struct CortexCosts {
+    /// Fixed cost per remote-write/query API request: HTTP handling plus
+    /// the distributor→ingester (resp. querier→store-gateway) gRPC hops.
+    pub request_overhead_ns: u64,
+    /// Per-sample protobuf serialization/deserialization cost.
+    pub per_sample_ns: u64,
+    /// Per-label-comparison cost on the insert path (Cortex has no
+    /// fast-path insert; every sample carries its full label set, §3.4).
+    pub per_label_ns: u64,
+}
+
+impl Default for CortexCosts {
+    fn default() -> Self {
+        CortexCosts {
+            request_overhead_ns: 2_000_000, // ~2 ms of hops per request
+            per_sample_ns: 1_500,
+            per_label_ns: 250,
+        }
+    }
+}
+
+/// The Cortex simulator.
+pub struct CortexSim {
+    tsdb: Tsdb,
+    env: StorageEnv,
+    costs: CortexCosts,
+}
+
+impl CortexSim {
+    pub fn open(env: StorageEnv, opts: TsdbOptions, costs: CortexCosts) -> Result<Self> {
+        let tsdb = Tsdb::open(env.clone(), opts)?;
+        Ok(CortexSim { tsdb, env, costs })
+    }
+
+    /// One remote-write request carrying a batch of samples. Every sample
+    /// carries its full label set — Cortex has no ID-based fast path.
+    pub fn remote_write(&self, batch: &[(Labels, Timestamp, Value)]) -> Result<()> {
+        let label_work: usize = batch.iter().map(|(l, _, _)| l.len()).sum();
+        self.env.clock.charge(
+            self.costs.request_overhead_ns
+                + self.costs.per_sample_ns * batch.len() as u64
+                + self.costs.per_label_ns * label_work as u64,
+        );
+        for (labels, t, v) in batch {
+            self.tsdb.put(labels, *t, *v)?;
+        }
+        Ok(())
+    }
+
+    /// One query request. Charges the request overhead; the underlying
+    /// tsdb engine additionally fetches every overlapping block's index
+    /// file from S3 (the inefficiency the paper measures in Figure 13b).
+    pub fn query(
+        &self,
+        selectors: &[tu_index::Selector],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<(Labels, Vec<Sample>)>> {
+        self.env.clock.charge(self.costs.request_overhead_ns);
+        self.tsdb.query(selectors, start, end)
+    }
+
+    /// The underlying storage engine (for memory and size accounting).
+    pub fn engine(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    pub fn storage(&self) -> &StorageEnv {
+        &self.env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_cloud::cost::LatencyMode;
+    use tu_index::Selector;
+
+    fn sim() -> (tempfile::TempDir, CortexSim) {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path(), LatencyMode::Virtual).unwrap();
+        let c = CortexSim::open(
+            env,
+            TsdbOptions {
+                chunk_samples: 8,
+                ..TsdbOptions::default()
+            },
+            CortexCosts::default(),
+        )
+        .unwrap();
+        (dir, c)
+    }
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        Labels::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn remote_write_and_query_round_trip() {
+        let (_d, c) = sim();
+        let batch: Vec<(Labels, i64, f64)> = (0..10)
+            .map(|i| (labels(&[("metric", "cpu"), ("host", "h1")]), i * 1000, i as f64))
+            .collect();
+        c.remote_write(&batch).unwrap();
+        let res = c
+            .query(&[Selector::exact("metric", "cpu")], 0, 100_000)
+            .unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].1.len(), 10);
+    }
+
+    #[test]
+    fn request_overhead_is_charged() {
+        let (_d, c) = sim();
+        let t0 = c.storage().clock.virtual_ns();
+        c.remote_write(&[(labels(&[("m", "x")]), 0, 1.0)]).unwrap();
+        let t1 = c.storage().clock.virtual_ns();
+        assert!(
+            t1 - t0 >= CortexCosts::default().request_overhead_ns,
+            "write must pay the RPC hops"
+        );
+    }
+
+    #[test]
+    fn queries_reload_block_indexes_from_s3() {
+        let (_d, c) = sim();
+        // Force a persisted block.
+        let two_hours = 2 * 3_600_000;
+        c.remote_write(&[(labels(&[("m", "x")]), 0, 1.0)]).unwrap();
+        c.remote_write(&[(labels(&[("m", "x")]), two_hours + 1, 2.0)])
+            .unwrap();
+        assert!(c.engine().block_count() >= 1);
+        let gets_before = c.storage().object.stats().get_requests;
+        c.query(&[Selector::exact("m", "x")], 0, two_hours)
+            .unwrap();
+        let gets_after = c.storage().object.stats().get_requests;
+        assert!(
+            gets_after > gets_before,
+            "index files must be re-fetched per query"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline engines the paper compares TimeUnion against (§4.1).
+//!
+//! * [`tsdb`] — a reimplementation of the Prometheus tsdb architecture
+//!   (§2.2): a 2-hour in-memory head block with nested-hash-map inverted
+//!   indexes, flushed wholesale into self-contained partitions whose
+//!   metadata stays in memory. Extended with cloud-storage support
+//!   (persisted blocks on the object store) exactly as the paper extends
+//!   it for its "tsdb" baseline.
+//! * [`tsdb_ldb`] — "tsdb-LDB": the same head architecture, but flushed
+//!   chunks are stored in a classic leveled LSM whose SSTables live on S3.
+//! * [`tu_ldb`] — "TU-LDB": TimeUnion's memory-efficient layer (trie
+//!   index, file-backed head chunks) over a classic leveled LSM with the
+//!   first two levels on EBS and the rest on S3.
+//! * [`cortex`] — a Cortex simulator: the tsdb engine behind a modelled
+//!   remote-write/query front end that charges per-request RPC overhead
+//!   and whole-index loads, the two effects Figure 13 attributes Cortex's
+//!   gaps to.
+
+pub mod cortex;
+pub mod tsdb;
+pub mod tsdb_ldb;
+pub mod tu_ldb;
+
+pub use cortex::CortexSim;
+pub use tsdb::{Tsdb, TsdbOptions};
+pub use tsdb_ldb::TsdbLdb;
+pub use tu_ldb::TuLdb;

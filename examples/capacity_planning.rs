@@ -1,0 +1,83 @@
+//! Capacity planning with the paper's analytical models: given a fleet
+//! size, should you group? How much slow-storage traffic does the
+//! single-slow-level design save? What does each tier cost per month?
+//!
+//! Uses the grouping model (Equations 1–6), the compaction cost model
+//! (Equations 7–10), and the Figure 1a price sheet.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use timeunion::cloud::pricing::{self, Tier};
+use tu_core::analysis::GroupingModel;
+use tu_lsm::analysis::{CostModel, GB};
+
+fn main() {
+    println!("== TimeUnion capacity planner ==\n");
+
+    // --- index space: to group or not to group (Equations 1-2) -------------
+    println!("Grouping analysis (TSBS DevOps constants: Sg=101, Tu=118, Tg=1):");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "series", "flat index", "grouped index", "saving"
+    );
+    for n in [100_000.0, 1_000_000.0, 10_000_000.0] {
+        let m = GroupingModel::tsbs_devops(n);
+        let flat = m.cost_without_grouping();
+        let grouped = m.cost_with_grouping();
+        println!(
+            "{:>12} {:>11.1} MB {:>11.1} MB {:>7.1}%",
+            n as u64,
+            flat / 1e6,
+            grouped / 1e6,
+            (1.0 - grouped / flat) * 100.0
+        );
+    }
+    let m = GroupingModel::tsbs_devops(1e6);
+    println!(
+        "break-even group size: {:.1} series/group (DevOps hosts have {:.0})\n",
+        m.break_even_group_size(),
+        m.s_g
+    );
+
+    // --- slow-tier write traffic (Equations 7-10) ----------------------------
+    println!("Compaction traffic to slow storage (Sb=64MB, M=10, Sfast=1GB):");
+    println!(
+        "{:>10} {:>16} {:>16} {:>12}",
+        "data", "classic LSM", "one slow level", "saved"
+    );
+    for data_gb in [10.0, 100.0, 1000.0] {
+        let model = CostModel {
+            data_size: data_gb * GB,
+            ..CostModel::paper_example()
+        };
+        println!(
+            "{:>8} GB {:>13.1} GB {:>13.1} GB {:>9.1} GB",
+            data_gb,
+            model.traditional_slow_write_bytes() / GB,
+            model.single_level_slow_write_bytes() / GB,
+            model.saving_bytes() / GB
+        );
+    }
+    println!();
+
+    // --- monthly storage bill (Figure 1a prices) ------------------------------
+    println!("Monthly cost of a 2 TB dataset by placement:");
+    let bytes = 2u64 << 40;
+    for (tier, label) in [
+        (Tier::Ram, "all in RAM"),
+        (Tier::Block, "all on block storage"),
+        (Tier::Object, "all on object storage"),
+    ] {
+        println!(
+            "  {label:24} ${:>10.2}",
+            pricing::monthly_cost_usd(tier, bytes)
+        );
+    }
+    // The hybrid TimeUnion split: ~2 hours hot on block storage, the rest
+    // cold on object storage (with a 30x compression ratio end-to-end the
+    // hot fraction is tiny).
+    let hot = bytes / 100;
+    let hybrid = pricing::monthly_cost_usd(Tier::Block, hot)
+        + pricing::monthly_cost_usd(Tier::Object, bytes - hot);
+    println!("  {:24} ${hybrid:>10.2}", "hybrid (TimeUnion split)");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: open a TimeUnion instance, insert individual timeseries
+//! and a timeseries group, and query them back with tag selectors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use timeunion::engine::{Options, Selector, TimeUnion};
+use timeunion::model::Labels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = tempfile::tempdir()?;
+    let db = TimeUnion::open(dir.path().join("db"), Options::default())?;
+
+    // --- individual timeseries ------------------------------------------------
+    // Slow path: pass the tags; the engine returns the series ID.
+    let cpu = Labels::from_pairs([("metric", "cpu_usage"), ("host", "web-1")]);
+    let id = db.put(&cpu, 1_000, 12.5)?;
+    // Fast path: insert by ID, skipping tag resolution (§3.4).
+    for i in 2..=60 {
+        db.put_by_id(id, i * 1_000, 12.5 + (i % 7) as f64)?;
+    }
+
+    // --- a timeseries group ----------------------------------------------------
+    // All metrics of one host share their scrape timestamps; modelling them
+    // as a group deduplicates the timestamp column (§3.1).
+    let host_tags = Labels::from_pairs([("host", "web-2")]);
+    let members = vec![
+        Labels::from_pairs([("metric", "mem_used")]),
+        Labels::from_pairs([("metric", "mem_free")]),
+    ];
+    let (gid, refs) = db.put_group(&host_tags, &members, 1_000, &[512.0, 1536.0])?;
+    for i in 2..=60 {
+        db.put_group_fast(gid, &refs, i * 1_000, &[512.0 + i as f64, 1536.0 - i as f64])?;
+    }
+
+    // --- queries -----------------------------------------------------------------
+    let res = db.query(&[Selector::exact("metric", "cpu_usage")], 0, 120_000)?;
+    println!(
+        "cpu_usage on {}: {} samples, first = {:?}",
+        res[0].labels,
+        res[0].samples.len(),
+        res[0].samples.first()
+    );
+
+    // Regex selectors work like Prometheus `=~`.
+    let res = db.query(&[Selector::regex("metric", "mem_.*")?], 0, 120_000)?;
+    println!("mem_* matched {} series:", res.len());
+    for series in &res {
+        println!(
+            "  {} -> {} samples, last = {:?}",
+            series.labels,
+            series.samples.len(),
+            series.samples.last()
+        );
+    }
+
+    // Selecting on the shared group tag returns every member.
+    let res = db.query(&[Selector::exact("host", "web-2")], 0, 120_000)?;
+    assert_eq!(res.len(), 2);
+
+    db.sync()?;
+    println!(
+        "done: {} series, {} groups, heap breakdown: {:?}",
+        db.series_count(),
+        db.group_count(),
+        db.memory_stats()
+    );
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Cross-engine agreement: the same in-order workload through TimeUnion,
+//! TU-LDB, tsdb, and tsdb-LDB must yield identical query results — the
+//! engines differ in cost, never in answers.
+
+use timeunion::baselines::{Tsdb, TsdbLdb, TsdbOptions, TuLdb};
+use timeunion::cloud::StorageEnv;
+use timeunion::engine::{Options, Selector, TimeUnion};
+use timeunion::lsm::TreeOptions;
+use timeunion::tsbs::{DevOpsGenerator, DevOpsOptions, QueryPattern};
+use tu_cloud::cost::LatencyMode;
+use tu_common::{Labels, Sample};
+use tu_lsm::leveled::LeveledOptions;
+
+fn generator() -> DevOpsGenerator {
+    DevOpsGenerator::new(DevOpsOptions {
+        hosts: 4,
+        start_ms: 0,
+        interval_ms: 60_000,
+        duration_ms: 3 * 3_600_000,
+        seed: 5,
+    })
+}
+
+fn normalize(mut rows: Vec<(Labels, Vec<Sample>)>) -> Vec<(Vec<u8>, Vec<Sample>)> {
+    rows.sort_by(|a, b| a.0.to_bytes().cmp(&b.0.to_bytes()));
+    rows.into_iter().map(|(l, s)| (l.to_bytes(), s)).collect()
+}
+
+#[test]
+fn all_engines_return_identical_results() {
+    let gen = generator();
+    let dir = tempfile::tempdir().unwrap();
+
+    // TimeUnion.
+    let tu = TimeUnion::open(
+        dir.path().join("tu"),
+        Options {
+            chunk_samples: 16,
+            index_slots_per_segment: 1 << 14,
+            tree: TreeOptions {
+                memtable_bytes: 128 << 10,
+                ..TreeOptions::default()
+            },
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    // TU-LDB.
+    let tu_ldb = TuLdb::open(
+        dir.path().join("tuldb-mem"),
+        StorageEnv::open(dir.path().join("tuldb-store"), LatencyMode::Off).unwrap(),
+        16,
+        16 << 20,
+        LeveledOptions {
+            memtable_bytes: 128 << 10,
+            ..LeveledOptions::default()
+        },
+    )
+    .unwrap();
+    // tsdb (+ cloud storage).
+    let tsdb = Tsdb::open(
+        StorageEnv::open(dir.path().join("tsdb-store"), LatencyMode::Off).unwrap(),
+        TsdbOptions {
+            chunk_samples: 120,
+            ..TsdbOptions::default()
+        },
+    )
+    .unwrap();
+    // tsdb-LDB.
+    let tsdb_ldb = TsdbLdb::open(
+        StorageEnv::open(dir.path().join("tsdbldb-store"), LatencyMode::Off).unwrap(),
+        16,
+        LeveledOptions {
+            memtable_bytes: 128 << 10,
+            ..LeveledOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Identical fast-path ingest into all four.
+    let metrics = gen.metric_names().len();
+    let mut tu_ids = Vec::new();
+    let mut tuldb_ids = Vec::new();
+    let mut tsdb_ids = Vec::new();
+    let mut tsdbldb_ids = Vec::new();
+    for host in 0..gen.options().hosts {
+        let (a, b, c, d): (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) = (0..metrics)
+            .map(|m| {
+                let l = gen.series_labels(host, m);
+                let t = gen.ts_of(0);
+                let v = gen.value(host, m, 0);
+                (
+                    tu.put(&l, t, v).unwrap(),
+                    tu_ldb.put(&l, t, v).unwrap(),
+                    tsdb.put(&l, t, v).unwrap(),
+                    tsdb_ldb.put(&l, t, v).unwrap(),
+                )
+            })
+            .fold(
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+                |mut acc, x| {
+                    acc.0.push(x.0);
+                    acc.1.push(x.1);
+                    acc.2.push(x.2);
+                    acc.3.push(x.3);
+                    acc
+                },
+            );
+        tu_ids.push(a);
+        tuldb_ids.push(b);
+        tsdb_ids.push(c);
+        tsdbldb_ids.push(d);
+    }
+    for step in 1..gen.steps() {
+        let t = gen.ts_of(step);
+        for host in 0..gen.options().hosts {
+            for m in 0..metrics {
+                let v = gen.value(host, m, step);
+                tu.put_by_id(tu_ids[host][m], t, v).unwrap();
+                tu_ldb.put_by_id(tuldb_ids[host][m], t, v).unwrap();
+                tsdb.put_by_id(tsdb_ids[host][m], t, v).unwrap();
+                tsdb_ldb.put_by_id(tsdbldb_ids[host][m], t, v).unwrap();
+            }
+        }
+    }
+    tu.flush_all().unwrap();
+    tu_ldb.flush_all().unwrap();
+    tsdb.flush_head().unwrap();
+    tsdb_ldb.flush_all().unwrap();
+
+    for pattern in QueryPattern::table2() {
+        let spec = pattern.spec(&gen, 2);
+        let a = normalize(
+            tu.query(&spec.selectors, spec.start, spec.end)
+                .unwrap()
+                .into_iter()
+                .map(|r| (r.labels, r.samples))
+                .collect(),
+        );
+        let b = normalize(tu_ldb.query(&spec.selectors, spec.start, spec.end).unwrap());
+        let c = normalize(tsdb.query(&spec.selectors, spec.start, spec.end).unwrap());
+        let d = normalize(
+            tsdb_ldb
+                .query(&spec.selectors, spec.start, spec.end)
+                .unwrap(),
+        );
+        assert_eq!(a, b, "{}: TimeUnion vs TU-LDB", pattern.name());
+        assert_eq!(a, c, "{}: TimeUnion vs tsdb", pattern.name());
+        assert_eq!(a, d, "{}: TimeUnion vs tsdb-LDB", pattern.name());
+        assert!(!a.is_empty(), "{}: queries must match data", pattern.name());
+    }
+}
+
+#[test]
+fn cortex_sim_agrees_with_timeunion() {
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts: 2,
+        duration_ms: 3_600_000,
+        ..DevOpsOptions::default()
+    });
+    let dir = tempfile::tempdir().unwrap();
+    let tu = TimeUnion::open(dir.path().join("tu"), Options::default()).unwrap();
+    let cortex = timeunion::baselines::CortexSim::open(
+        StorageEnv::open(dir.path().join("cortex"), LatencyMode::Virtual).unwrap(),
+        TsdbOptions::default(),
+        tu_tsdb::cortex::CortexCosts::default(),
+    )
+    .unwrap();
+
+    // Remote-write batches of 1000 samples, like the paper's HTTP batches.
+    let mut batch = Vec::new();
+    for step in 0..gen.steps() {
+        for host in 0..gen.options().hosts {
+            for m in 0..gen.metric_names().len() {
+                let l = gen.series_labels(host, m);
+                let t = gen.ts_of(step);
+                let v = gen.value(host, m, step);
+                tu.put(&l, t, v).unwrap();
+                batch.push((l, t, v));
+                if batch.len() == 1000 {
+                    cortex.remote_write(&batch).unwrap();
+                    batch.clear();
+                }
+            }
+        }
+    }
+    cortex.remote_write(&batch).unwrap();
+
+    let sel = vec![
+        Selector::exact("hostname", "host_1"),
+        Selector::exact("metric", gen.metric_names()[3].clone()),
+    ];
+    let a = tu.query(&sel, 0, gen.end_ms()).unwrap();
+    let b = cortex.query(&sel, 0, gen.end_ms()).unwrap();
+    assert_eq!(a.len(), 1);
+    assert_eq!(b.len(), 1);
+    assert_eq!(a[0].samples, b[0].1);
+}

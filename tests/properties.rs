@@ -1,0 +1,164 @@
+//! Cross-crate property tests: randomized workloads against reference
+//! models, exercising the whole stack.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use timeunion::engine::{Options, Selector, TimeUnion};
+use timeunion::lsm::TreeOptions;
+use timeunion::model::Labels;
+
+fn small_options() -> Options {
+    Options {
+        chunk_samples: 8,
+        index_slots_per_segment: 1 << 14,
+        wal_batch_records: 8,
+        tree: TreeOptions {
+            memtable_bytes: 16 << 10,
+            l0_partition_ms: 60_000,
+            l2_partition_ms: 4 * 60_000,
+            partition_min_ms: 30_000,
+            max_sstable_bytes: 32 << 10,
+            ..TreeOptions::default()
+        },
+        ..Options::default()
+    }
+}
+
+/// One randomized operation against the engine.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert into series `s` at timestamp `t` (may be out of order).
+    Put { series: u8, t: i64, v: u32 },
+    /// Force heads + tree down to the slow tier.
+    FlushAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        20 => (0u8..6, 0i64..20 * 60_000, any::<u32>())
+            .prop_map(|(series, t, v)| Op::Put { series, t, v }),
+        1 => Just(Op::FlushAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The engine returns exactly the newest value per (series, ts),
+    /// regardless of ordering, duplicates, seals, and compactions.
+    #[test]
+    fn engine_matches_model_under_out_of_order_writes(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = TimeUnion::open(dir.path().join("db"), small_options()).unwrap();
+        let mut model: BTreeMap<(u8, i64), f64> = BTreeMap::new();
+        let mut ids: BTreeMap<u8, u64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put { series, t, v } => {
+                    let vf = *v as f64;
+                    let id = match ids.get(series) {
+                        Some(id) => *id,
+                        None => {
+                            let l = Labels::from_pairs([
+                                ("metric", "m"),
+                                ("series", &format!("s{series}")),
+                            ]);
+                            let id = db.put(&l, *t, vf).unwrap();
+                            ids.insert(*series, id);
+                            model.insert((*series, *t), vf);
+                            continue;
+                        }
+                    };
+                    db.put_by_id(id, *t, vf).unwrap();
+                    model.insert((*series, *t), vf);
+                }
+                Op::FlushAll => db.flush_all().unwrap(),
+            }
+        }
+        for (series, _) in ids {
+            let sel = vec![
+                Selector::exact("metric", "m"),
+                Selector::exact("series", format!("s{series}")),
+            ];
+            let got = db.query(&sel, 0, i64::MAX / 4).unwrap();
+            let expect: Vec<(i64, f64)> = model
+                .range((series, i64::MIN)..=(series, i64::MAX))
+                .map(|((_, t), v)| (*t, *v))
+                .collect();
+            prop_assert_eq!(got.len(), usize::from(!expect.is_empty()));
+            if let Some(series_result) = got.first() {
+                let got_pairs: Vec<(i64, f64)> =
+                    series_result.samples.iter().map(|s| (s.t, s.v)).collect();
+                prop_assert_eq!(got_pairs, expect);
+            }
+        }
+    }
+
+    /// Range queries clip exactly to [start, end).
+    #[test]
+    fn query_ranges_clip_exactly(
+        n in 1usize..120,
+        start in 0i64..100_000,
+        len in 1i64..100_000,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = TimeUnion::open(dir.path().join("db"), small_options()).unwrap();
+        let l = Labels::from_pairs([("metric", "clip")]);
+        let id = db.put(&l, 0, 0.0).unwrap();
+        for i in 1..n as i64 {
+            db.put_by_id(id, i * 1_000, i as f64).unwrap();
+        }
+        let end = start + len;
+        let got = db.query(&[Selector::exact("metric", "clip")], start, end).unwrap();
+        let expect: Vec<i64> = (0..n as i64)
+            .map(|i| i * 1_000)
+            .filter(|t| *t >= start && *t < end)
+            .collect();
+        let got_ts: Vec<i64> = got
+            .first()
+            .map(|s| s.samples.iter().map(|x| x.t).collect())
+            .unwrap_or_default();
+        prop_assert_eq!(got_ts, expect);
+    }
+
+    /// Recovery reproduces the exact pre-crash state for random workloads.
+    #[test]
+    fn recovery_is_exact(
+        writes in proptest::collection::vec(
+            (0u8..4, 0i64..500_000, any::<u32>()),
+            1..120,
+        ),
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut model: BTreeMap<(u8, i64), f64> = BTreeMap::new();
+        {
+            let db = TimeUnion::open(dir.path().join("db"), small_options()).unwrap();
+            for (series, t, v) in &writes {
+                let l = Labels::from_pairs([("s", &format!("x{series}"))]);
+                db.put(&l, *t, *v as f64).unwrap();
+                model.insert((*series, *t), *v as f64);
+            }
+            db.sync().unwrap();
+        }
+        let db = TimeUnion::open(dir.path().join("db"), small_options()).unwrap();
+        for series in 0u8..4 {
+            let expect: Vec<(i64, f64)> = model
+                .range((series, i64::MIN)..=(series, i64::MAX))
+                .map(|((_, t), v)| (*t, *v))
+                .collect();
+            let got = db
+                .query(&[Selector::exact("s", format!("x{series}"))], 0, i64::MAX / 4)
+                .unwrap();
+            if expect.is_empty() {
+                prop_assert!(got.is_empty());
+            } else {
+                let got_pairs: Vec<(i64, f64)> =
+                    got[0].samples.iter().map(|s| (s.t, s.v)).collect();
+                prop_assert_eq!(got_pairs, expect);
+            }
+        }
+    }
+}
