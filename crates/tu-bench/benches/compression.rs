@@ -8,7 +8,12 @@ use tu_compress::{gorilla, snappy};
 
 fn samples(n: usize) -> Vec<Sample> {
     (0..n)
-        .map(|i| Sample::new(i as i64 * 30_000 + (i % 7) as i64, 40.0 + (i % 13) as f64 * 0.5))
+        .map(|i| {
+            Sample::new(
+                i as i64 * 30_000 + (i % 7) as i64,
+                40.0 + (i % 13) as f64 * 0.5,
+            )
+        })
         .collect()
 }
 

@@ -37,16 +37,10 @@ fn bench_read(c: &mut Criterion) {
     );
     store.write_file("sst", &build_bytes(10_000)).unwrap();
     let cache = Arc::new(BlockCache::new(16 << 20));
-    let table = Table::open(
-        TableSource::Block(store.clone(), "sst".into()),
-        Some(cache),
-    )
-    .unwrap();
+    let table = Table::open(TableSource::Block(store.clone(), "sst".into()), Some(cache)).unwrap();
     let mut g = c.benchmark_group("sstable_read");
     g.bench_function("open", |b| {
-        b.iter(|| {
-            Table::open(TableSource::Block(store.clone(), "sst".into()), None).unwrap()
-        })
+        b.iter(|| Table::open(TableSource::Block(store.clone(), "sst".into()), None).unwrap())
     });
     g.bench_function("point_get_warm", |b| {
         let mut i = 0u64;

@@ -10,7 +10,8 @@ fn bench_trie(c: &mut Criterion) {
     let cache = PageCache::new(4096 * PAGE_SIZE);
     let trie = DoubleArrayTrie::open(cache, dir.path().join("t"), 1 << 16).unwrap();
     for i in 0..10_000u64 {
-        trie.insert(format!("metric\x01m{i}").as_bytes(), i).unwrap();
+        trie.insert(format!("metric\x01m{i}").as_bytes(), i)
+            .unwrap();
     }
     let mut g = c.benchmark_group("trie");
     g.throughput(Throughput::Elements(1));

@@ -86,7 +86,14 @@ pub fn grouping(scale: Scale) -> Result<()> {
 pub fn compaction(scale: Scale) -> Result<()> {
     let mut t = Table::new(
         "Compaction cost model (Equations 7-10, Sb=64MB, M=10, Sfast=1GB)",
-        &["data", "L", "L_fast", "classic slow writes", "one-level", "saving"],
+        &[
+            "data",
+            "L",
+            "L_fast",
+            "classic slow writes",
+            "one-level",
+            "saving",
+        ],
     );
     for data_gb in [10.0, 100.0, 1000.0] {
         let m = CostModel {
@@ -161,7 +168,13 @@ pub fn compaction(scale: Scale) -> Result<()> {
     let lv_puts = lv_env.object.stats();
     let mut t = Table::new(
         "Measured slow-tier traffic for the same chunk stream",
-        &["tree", "put requests", "bytes written", "get requests", "bytes read"],
+        &[
+            "tree",
+            "put requests",
+            "bytes written",
+            "get requests",
+            "bytes read",
+        ],
     );
     t.row(vec![
         "time-partitioned (1 slow level)".into(),

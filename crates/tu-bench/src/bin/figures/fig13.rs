@@ -69,8 +69,12 @@ pub fn run(scale: Scale) -> Result<()> {
             for host in 0..gen.options().hosts {
                 let row: Vec<u64> = (0..gen.metric_names().len())
                     .map(|m| {
-                        db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                            .unwrap()
+                        db.put(
+                            &gen.series_labels(host, m),
+                            gen.ts_of(0),
+                            gen.value(host, m, 0),
+                        )
+                        .unwrap()
                     })
                     .collect();
                 ids.push(row);
@@ -163,7 +167,13 @@ pub fn run(scale: Scale) -> Result<()> {
 
     let mut t = Table::new(
         "Figure 13: end-to-end comparison",
-        &["system", "insert tput", "5-1-24 (ms)", "5-8-1 (ms)", "memory"],
+        &[
+            "system",
+            "insert tput",
+            "5-1-24 (ms)",
+            "5-8-1 (ms)",
+            "memory",
+        ],
     );
     for r in &rows {
         t.row(vec![

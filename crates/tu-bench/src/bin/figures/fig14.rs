@@ -127,9 +127,7 @@ pub fn run(scale: Scale, variant: Variant) -> Result<()> {
         t.row(cells);
     }
     t.print();
-    println!(
-        "(paper: TU ~25%/13% over tsdb/tsdb-LDB; TU-Group ~2.4x TU; TU-LDB slowest)"
-    );
+    println!("(paper: TU ~25%/13% over tsdb/tsdb-LDB; TU-Group ~2.4x TU; TU-LDB slowest)");
 
     // --- query latencies on the largest round ------------------------------------
     let mut t = Table::new(

@@ -3,7 +3,9 @@
 
 use crate::Scale;
 use tu_bench::report::Table;
-use tu_bench::{build_engine, engine_clock, fresh_env, ingest_fast, ingest_grouped, BenchConfig, Engine};
+use tu_bench::{
+    build_engine, engine_clock, fresh_env, ingest_fast, ingest_grouped, BenchConfig, Engine,
+};
 use tu_common::alloc::fmt_bytes;
 use tu_common::Result;
 use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
@@ -64,7 +66,12 @@ pub fn run(scale: Scale) -> Result<()> {
         &["phase", "tsdb", "TU"],
     );
     let tsdb_env = fresh_env(dir.path(), "tl-tsdb")?;
-    let tsdb = build_engine("tsdb", &dir.path().join("tl-tsdb-dir"), &cfg, tsdb_env.clone())?;
+    let tsdb = build_engine(
+        "tsdb",
+        &dir.path().join("tl-tsdb-dir"),
+        &cfg,
+        tsdb_env.clone(),
+    )?;
     let tu_env = fresh_env(dir.path(), "tl-tu")?;
     let tu = build_engine("TU", &dir.path().join("tl-tu-dir"), &cfg, tu_env.clone())?;
     // Sample at quartiles of the insert phase, then after flush and query.
@@ -75,16 +82,24 @@ pub fn run(scale: Scale) -> Result<()> {
         ids_tsdb.push(
             (0..gen.metric_names().len())
                 .map(|m| {
-                    tsdb.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                        .unwrap()
+                    tsdb.put(
+                        &gen.series_labels(host, m),
+                        gen.ts_of(0),
+                        gen.value(host, m, 0),
+                    )
+                    .unwrap()
                 })
                 .collect(),
         );
         ids_tu.push(
             (0..gen.metric_names().len())
                 .map(|m| {
-                    tu.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                        .unwrap()
+                    tu.put(
+                        &gen.series_labels(host, m),
+                        gen.ts_of(0),
+                        gen.value(host, m, 0),
+                    )
+                    .unwrap()
                 })
                 .collect(),
         );

@@ -17,8 +17,12 @@ fn ingest(db: &TimeUnion, gen: &DevOpsGenerator) -> Result<Vec<Vec<u64>>> {
         ids.push(
             (0..gen.metric_names().len())
                 .map(|m| {
-                    db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                        .unwrap()
+                    db.put(
+                        &gen.series_labels(host, m),
+                        gen.ts_of(0),
+                        gen.value(host, m, 0),
+                    )
+                    .unwrap()
                 })
                 .collect::<Vec<u64>>(),
         );
@@ -58,7 +62,14 @@ pub fn run(scale: Scale) -> Result<()> {
             "Figure 18a: different EBS limits ({} series, 10s interval)",
             gen.options().hosts * 101
         ),
-        &["EBS limit", "insert tput", "1-1-1 (ms)", "5-1-24 (ms)", "final R1 (min)", "fast bytes"],
+        &[
+            "EBS limit",
+            "insert tput",
+            "1-1-1 (ms)",
+            "5-1-24 (ms)",
+            "final R1 (min)",
+            "fast bytes",
+        ],
     );
     for (label, limit) in limits {
         let mut opts = cfg.tu_options();
@@ -112,13 +123,21 @@ fn run_ooo(scale: Scale) -> Result<()> {
     });
     let mut t = Table::new(
         "Figure 18b: out-of-order data volumes",
-        &["volume", "ooo insert tput", "1-1-1 (ms)", "5-1-24 (ms)", "patches", "patch merges"],
+        &[
+            "volume",
+            "ooo insert tput",
+            "1-1-1 (ms)",
+            "5-1-24 (ms)",
+            "patches",
+            "patch merges",
+        ],
     );
     for fraction in [0.0, 0.05, 0.10, 0.20] {
         let mut opts = cfg.tu_options();
         opts.latency = LatencyMode::Virtual;
         let db = TimeUnion::open(
-            dir.path().join(format!("ooo-{}", (fraction * 100.0) as u32)),
+            dir.path()
+                .join(format!("ooo-{}", (fraction * 100.0) as u32)),
             opts,
         )?;
         let clock = db.storage().clock.clone();

@@ -31,8 +31,19 @@ pub fn run(scale: Scale) -> Result<()> {
         ("dense @10s", 10_000, scale.hours * 3_600_000),
     ];
     let mut t = Table::new(
-        format!("Figure 19: dynamic size control ({} series, {} EBS limit)", hosts * 101, fmt_bytes(limit as usize)),
-        &["phase", "progress", "R1 (min)", "R2 (min)", "EBS usage", "within limit"],
+        format!(
+            "Figure 19: dynamic size control ({} series, {} EBS limit)",
+            hosts * 101,
+            fmt_bytes(limit as usize)
+        ),
+        &[
+            "phase",
+            "progress",
+            "R1 (min)",
+            "R2 (min)",
+            "EBS usage",
+            "within limit",
+        ],
     );
     let mut start_ms = 0i64;
     let mut ids: Option<Vec<Vec<u64>>> = None;
@@ -50,8 +61,12 @@ pub fn run(scale: Scale) -> Result<()> {
                 all.push(
                     (0..gen.metric_names().len())
                         .map(|m| {
-                            db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                                .unwrap()
+                            db.put(
+                                &gen.series_labels(host, m),
+                                gen.ts_of(0),
+                                gen.value(host, m, 0),
+                            )
+                            .unwrap()
                         })
                         .collect::<Vec<u64>>(),
                 );
@@ -80,7 +95,12 @@ pub fn run(scale: Scale) -> Result<()> {
                 format!("{:.1}", s.r1_ms as f64 / 60_000.0),
                 format!("{:.1}", s.r2_ms as f64 / 60_000.0),
                 fmt_bytes(s.fast_bytes as usize),
-                if s.fast_bytes <= limit * 2 { "yes" } else { "OVER" }.to_string(),
+                if s.fast_bytes <= limit * 2 {
+                    "yes"
+                } else {
+                    "OVER"
+                }
+                .to_string(),
             ]);
         }
         start_ms += span;

@@ -75,7 +75,13 @@ pub fn run(scale: Scale) -> Result<()> {
     println!("(shape check: linear in series count; paper: +51%/+31% for 10s/60s samples over index-only)");
 
     // Figure 3b: breakdown of the 12h @60s configuration.
-    let tsdb = load_tsdb(dir.path(), "tsdb-breakdown", counts[counts.len() - 1], 60, 12)?;
+    let tsdb = load_tsdb(
+        dir.path(),
+        "tsdb-breakdown",
+        counts[counts.len() - 1],
+        60,
+        12,
+    )?;
     let m = tsdb.memory();
     let total = m.total().max(1);
     let mut t = Table::new(

@@ -12,6 +12,11 @@
 //! Workloads are scaled down from the paper's (millions of series on AWS)
 //! to laptop scale; EXPERIMENTS.md records paper-vs-measured shape checks.
 //! `--quick` shrinks them further for smoke runs.
+//!
+//! Every run ends with a dump of the global metrics registry (request and
+//! byte counters per tier, flush/compaction spans, cache hit rates — see
+//! docs/OBSERVABILITY.md). `--metrics-json` emits it as JSON instead of
+//! the aligned text table.
 
 mod analysis;
 mod fig1;
@@ -62,7 +67,12 @@ impl Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::normal() };
+    let json = args.iter().any(|a| a == "--metrics-json");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::normal()
+    };
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -71,6 +81,17 @@ fn main() {
     if let Err(e) = run(cmd, scale) {
         eprintln!("experiment {cmd} failed: {e}");
         std::process::exit(1);
+    }
+    // Dump everything the instrumented crates recorded during the run:
+    // cloud request/byte totals (the Equation 4/6 inputs), LSM flush and
+    // compaction spans, cache hit rates, engine ingest/query counters. See
+    // docs/OBSERVABILITY.md for the metric catalog.
+    let snapshot = tu_obs::global().snapshot();
+    if json {
+        println!("\n{}", snapshot.to_json());
+    } else {
+        println!("\n-------------------- metrics --------------------");
+        print!("{snapshot}");
     }
 }
 

@@ -2,7 +2,9 @@
 
 use crate::Scale;
 use tu_bench::report::Table;
-use tu_bench::{build_engine, engine_clock, fresh_env, ingest_fast, ingest_grouped, BenchConfig, Engine};
+use tu_bench::{
+    build_engine, engine_clock, fresh_env, ingest_fast, ingest_grouped, BenchConfig, Engine,
+};
 use tu_common::alloc::fmt_bytes;
 use tu_common::Result;
 use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::cost::{CostClock, LatencyModel, StorageStats};
+use crate::cost::{CostClock, LatencyModel, StorageStats, TierCounters};
 use tu_common::{Error, Result};
 
 /// Directory-backed fast block storage with an EBS-like cost model.
@@ -23,6 +23,7 @@ pub struct BlockStore {
     clock: CostClock,
     used_bytes: AtomicU64,
     stats: Stats,
+    obs: TierCounters,
     /// Files that have been read at least once (first-read penalty applies
     /// to the others), plus the set of known files and their sizes.
     state: Mutex<State>,
@@ -55,6 +56,7 @@ impl BlockStore {
             clock,
             used_bytes: AtomicU64::new(0),
             stats: Stats::default(),
+            obs: TierCounters::for_tier("block"),
             state: Mutex::new(State::default()),
         };
         store.reindex()?;
@@ -103,15 +105,23 @@ impl BlockStore {
         fs::write(&path, data)?;
         let mut state = self.state.lock();
         let old = state.sizes.insert(name.to_string(), data.len() as u64);
+        // Rewriting a file invalidates its warm-read state: the next read
+        // pays the first-read penalty again, as it would on a fresh EBS
+        // block. Without this an overwrite-then-read workload under-counts
+        // modelled latency (no request/byte counters are affected).
+        state.read_before.remove(name);
         drop(state);
         if let Some(old) = old {
             self.used_bytes.fetch_sub(old, Ordering::Relaxed);
         }
-        self.used_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.used_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.obs.puts.inc();
+        self.obs.bytes_written.add(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(())
     }
@@ -129,11 +139,14 @@ impl BlockStore {
         let mut state = self.state.lock();
         *state.sizes.entry(name.to_string()).or_insert(0) += data.len() as u64;
         drop(state);
-        self.used_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.used_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.obs.puts.inc();
+        self.obs.bytes_written.add(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(offset)
     }
@@ -171,6 +184,11 @@ impl BlockStore {
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.obs.gets.inc();
+        self.obs.bytes_read.add(len);
+        if first {
+            self.obs.first_reads.inc();
+        }
         self.clock.charge(self.model.read_ns(len, first));
     }
 
@@ -192,6 +210,7 @@ impl BlockStore {
         state.read_before.remove(name);
         drop(state);
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.obs.deletes.inc();
         Ok(())
     }
 
@@ -319,9 +338,8 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let clock = CostClock::new(LatencyMode::Off);
         {
-            let s =
-                BlockStore::open(dir.path().join("blk"), LatencyModel::ebs(), clock.clone())
-                    .unwrap();
+            let s = BlockStore::open(dir.path().join("blk"), LatencyModel::ebs(), clock.clone())
+                .unwrap();
             s.write_file("sub/keep", b"abcd").unwrap();
         }
         let s = BlockStore::open(dir.path().join("blk"), LatencyModel::ebs(), clock).unwrap();
@@ -352,5 +370,37 @@ mod tests {
 
     fn clock_of(s: &BlockStore) -> u64 {
         s.clock.virtual_ns()
+    }
+
+    #[test]
+    fn overwrite_resets_first_read_penalty() {
+        // Regression: rewriting a file must drop its warm-read state so the
+        // next read is charged as a first (cold) read again.
+        let (_d, s) = store();
+        s.write_file("f", &[0u8; 512]).unwrap();
+        s.read_file("f").unwrap();
+        let t0 = clock_of(&s);
+        s.read_file("f").unwrap();
+        let warm = clock_of(&s) - t0;
+        s.write_file("f", &[1u8; 512]).unwrap();
+        let t1 = clock_of(&s);
+        s.read_file("f").unwrap();
+        let cold = clock_of(&s) - t1;
+        assert!(cold > warm, "cold {cold}ns must exceed warm {warm}ns");
+    }
+
+    #[test]
+    fn append_keeps_warm_read_state() {
+        // Appending extends the file without rewriting the already-read
+        // prefix, so warm-read state is retained (the WAL append path must
+        // not re-trigger the penalty on every replay read).
+        let (_d, s) = store();
+        s.append("wal", &[0u8; 256]).unwrap();
+        s.read_file("wal").unwrap(); // cold
+        s.append("wal", &[0u8; 256]).unwrap();
+        let t0 = clock_of(&s);
+        s.read_file("wal").unwrap();
+        let after_append = clock_of(&s) - t0;
+        assert_eq!(after_append, LatencyModel::ebs().read_ns(512, false));
     }
 }

@@ -91,6 +91,38 @@ impl LatencyModel {
     }
 }
 
+/// The per-tier request/byte counters of one store, mirrored into the
+/// global `tu-obs` registry under `cloud.<tier>.*` names so experiment
+/// harnesses can read one [`tu_obs::MetricsSnapshot`] for everything.
+///
+/// Each store keeps its own local [`StorageStats`] too: the local stats
+/// isolate one store instance, while the registry aggregates across every
+/// store in the process (in single-store runs the two agree exactly —
+/// `tests/obs_matches_stats.rs` pins that equality).
+pub(crate) struct TierCounters {
+    pub gets: &'static tu_obs::Counter,
+    pub puts: &'static tu_obs::Counter,
+    pub deletes: &'static tu_obs::Counter,
+    pub bytes_read: &'static tu_obs::Counter,
+    pub bytes_written: &'static tu_obs::Counter,
+    pub first_reads: &'static tu_obs::Counter,
+}
+
+impl TierCounters {
+    /// Resolves the `cloud.<tier>.*` counters from the global registry.
+    pub fn for_tier(tier: &str) -> Self {
+        let reg = tu_obs::global();
+        TierCounters {
+            gets: reg.counter(&format!("cloud.{tier}.get_requests")),
+            puts: reg.counter(&format!("cloud.{tier}.put_requests")),
+            deletes: reg.counter(&format!("cloud.{tier}.delete_requests")),
+            bytes_read: reg.counter(&format!("cloud.{tier}.bytes_read")),
+            bytes_written: reg.counter(&format!("cloud.{tier}.bytes_written")),
+            first_reads: reg.counter(&format!("cloud.{tier}.first_reads")),
+        }
+    }
+}
+
 /// Per-tier operation counters, snapshotted by experiments.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StorageStats {

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::cost::{CostClock, LatencyModel, StorageStats};
+use crate::cost::{CostClock, LatencyModel, StorageStats, TierCounters};
 use tu_common::{Error, Result};
 
 /// Directory-backed slow object storage with an S3-like cost model.
@@ -24,6 +24,7 @@ pub struct ObjectStore {
     model: LatencyModel,
     clock: CostClock,
     stats: Stats,
+    obs: TierCounters,
     state: Mutex<State>,
 }
 
@@ -52,6 +53,7 @@ impl ObjectStore {
             model,
             clock,
             stats: Stats::default(),
+            obs: TierCounters::for_tier("object"),
             state: Mutex::new(State::default()),
         };
         store.reindex()?;
@@ -96,14 +98,21 @@ impl ObjectStore {
             fs::create_dir_all(parent)?;
         }
         fs::write(&path, data)?;
-        self.state
-            .lock()
-            .sizes
-            .insert(key.to_string(), data.len() as u64);
+        {
+            let mut state = self.state.lock();
+            state.sizes.insert(key.to_string(), data.len() as u64);
+            // A PUT replaces the object's content, so the next read is a
+            // first read again (cold fetch); leaving the key in
+            // `read_before` would skip the first-read penalty and
+            // under-charge Figure 1c's model on overwrite-heavy workloads.
+            state.read_before.remove(key);
+        }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.obs.puts.inc();
+        self.obs.bytes_written.add(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(())
     }
@@ -142,6 +151,11 @@ impl ObjectStore {
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.obs.gets.inc();
+        self.obs.bytes_read.add(len);
+        if first {
+            self.obs.first_reads.inc();
+        }
         self.clock.charge(self.model.read_ns(len, first));
     }
 
@@ -165,6 +179,7 @@ impl ObjectStore {
         state.read_before.remove(key);
         drop(state);
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.obs.deletes.inc();
         Ok(())
     }
 
@@ -286,12 +301,54 @@ mod tests {
     }
 
     #[test]
+    fn overwrite_resets_first_read_penalty() {
+        // Regression: a PUT over an existing key replaces its content, so
+        // the next GET must pay the first-read penalty again. Before the
+        // fix, `read_before` survived overwrites and the re-read was
+        // charged as warm.
+        let (_d, s) = store();
+        s.put("k", &[0u8; 256]).unwrap();
+        s.get("k").unwrap(); // first read: cold
+        let t0 = s.clock.virtual_ns();
+        s.get("k").unwrap(); // warm
+        let warm = s.clock.virtual_ns() - t0;
+        s.put("k", &[1u8; 256]).unwrap(); // overwrite invalidates warmth
+        let t1 = s.clock.virtual_ns();
+        s.get("k").unwrap();
+        let after_overwrite = s.clock.virtual_ns() - t1;
+        assert!(
+            after_overwrite > warm,
+            "re-read after overwrite must be cold: {after_overwrite}ns vs warm {warm}ns"
+        );
+    }
+
+    #[test]
+    fn range_reads_of_same_object_pay_penalty_once() {
+        // Multiple ranged GETs of one (unmodified) object are billed one
+        // request each, but only the first is a cold read.
+        let (_d, s) = store();
+        s.put("k", &[0u8; 8192]).unwrap();
+        let before = s.stats();
+        s.get_range("k", 0, 1024).unwrap();
+        let t0 = s.clock.virtual_ns();
+        s.get_range("k", 1024, 1024).unwrap();
+        s.get_range("k", 2048, 1024).unwrap();
+        let warm_pair = s.clock.virtual_ns() - t0;
+        let d = s.stats().since(&before);
+        assert_eq!(d.get_requests, 3, "one billable Get per range");
+        assert_eq!(d.bytes_read, 3 * 1024);
+        // Two warm requests together cost less than cold + warm.
+        let m = LatencyModel::s3();
+        assert_eq!(warm_pair, 2 * m.read_ns(1024, false));
+    }
+
+    #[test]
     fn reopen_reindexes() {
         let dir = tempfile::tempdir().unwrap();
         let clock = CostClock::new(LatencyMode::Off);
         {
-            let s = ObjectStore::open(dir.path().join("o"), LatencyModel::s3(), clock.clone())
-                .unwrap();
+            let s =
+                ObjectStore::open(dir.path().join("o"), LatencyModel::s3(), clock.clone()).unwrap();
             s.put("x/y", b"abc").unwrap();
         }
         let s = ObjectStore::open(dir.path().join("o"), LatencyModel::s3(), clock).unwrap();

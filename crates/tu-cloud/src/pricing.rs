@@ -34,9 +34,21 @@ pub fn monthly_cost_usd(tier: Tier, bytes: u64) -> f64 {
 /// The full price sheet, for the Figure 1a report.
 pub fn price_sheet() -> Vec<(Tier, &'static str, f64)> {
     vec![
-        (Tier::Ram, "RAM (EC2/ElastiCache estimate)", usd_per_gb_month(Tier::Ram)),
-        (Tier::Block, "Block storage (EBS gp2)", usd_per_gb_month(Tier::Block)),
-        (Tier::Object, "Object storage (S3 standard)", usd_per_gb_month(Tier::Object)),
+        (
+            Tier::Ram,
+            "RAM (EC2/ElastiCache estimate)",
+            usd_per_gb_month(Tier::Ram),
+        ),
+        (
+            Tier::Block,
+            "Block storage (EBS gp2)",
+            usd_per_gb_month(Tier::Block),
+        ),
+        (
+            Tier::Object,
+            "Object storage (S3 standard)",
+            usd_per_gb_month(Tier::Object),
+        ),
     ]
 }
 

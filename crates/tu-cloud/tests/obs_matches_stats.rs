@@ -1,0 +1,90 @@
+//! Pins the equality promised in `cost.rs`: in a single-store-per-tier run,
+//! the `cloud.<tier>.*` counters in the global `tu-obs` registry must match
+//! the per-store [`StorageStats`] exactly. This lives in its own integration
+//! test binary so no other test in the process touches the global registry.
+
+use tu_cloud::cost::LatencyMode;
+use tu_cloud::StorageEnv;
+
+#[test]
+fn global_obs_counters_match_storage_stats() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = StorageEnv::open(dir.path(), LatencyMode::Virtual).unwrap();
+
+    // Object tier: puts, whole gets, ranged gets, an overwrite, a delete.
+    env.object.put("sst/0001", &[1u8; 4096]).unwrap();
+    env.object.put("sst/0002", &[2u8; 1024]).unwrap();
+    env.object.get("sst/0001").unwrap();
+    env.object.get_range("sst/0001", 0, 512).unwrap();
+    env.object.get_range("sst/0001", 512, 512).unwrap();
+    env.object.put("sst/0002", &[3u8; 2048]).unwrap(); // overwrite
+    env.object.get("sst/0002").unwrap();
+    env.object.delete("sst/0001").unwrap();
+
+    // Block tier: writes, appends, reads, a delete.
+    env.block.write_file("wal/seg0", &[0u8; 256]).unwrap();
+    env.block.append("wal/seg0", &[0u8; 128]).unwrap();
+    env.block.read_file("wal/seg0").unwrap();
+    env.block.read_range("wal/seg0", 0, 64).unwrap();
+    env.block.delete("wal/seg0").unwrap();
+
+    let snap = tu_obs::global().snapshot();
+
+    let obj = env.object.stats();
+    assert_eq!(
+        snap.counter("cloud.object.get_requests"),
+        Some(obj.get_requests)
+    );
+    assert_eq!(
+        snap.counter("cloud.object.put_requests"),
+        Some(obj.put_requests)
+    );
+    assert_eq!(
+        snap.counter("cloud.object.delete_requests"),
+        Some(obj.delete_requests)
+    );
+    assert_eq!(
+        snap.counter("cloud.object.bytes_read"),
+        Some(obj.bytes_read)
+    );
+    assert_eq!(
+        snap.counter("cloud.object.bytes_written"),
+        Some(obj.bytes_written)
+    );
+
+    let blk = env.block.stats();
+    assert_eq!(
+        snap.counter("cloud.block.get_requests"),
+        Some(blk.get_requests)
+    );
+    assert_eq!(
+        snap.counter("cloud.block.put_requests"),
+        Some(blk.put_requests)
+    );
+    assert_eq!(
+        snap.counter("cloud.block.delete_requests"),
+        Some(blk.delete_requests)
+    );
+    assert_eq!(snap.counter("cloud.block.bytes_read"), Some(blk.bytes_read));
+    assert_eq!(
+        snap.counter("cloud.block.bytes_written"),
+        Some(blk.bytes_written)
+    );
+
+    // Sanity-check the workload shape so an accounting bug can't be masked
+    // by both sides drifting together in an obvious way.
+    assert_eq!(obj.get_requests, 4);
+    assert_eq!(obj.put_requests, 3);
+    assert_eq!(obj.delete_requests, 1);
+    assert_eq!(obj.bytes_read, 4096 + 512 + 512 + 2048);
+    assert_eq!(obj.bytes_written, 4096 + 1024 + 2048);
+    assert_eq!(blk.get_requests, 2);
+    assert_eq!(blk.put_requests, 2);
+    assert_eq!(blk.bytes_read, 384 + 64);
+    assert_eq!(blk.bytes_written, 256 + 128);
+
+    // First-read accounting: object "sst/0001" cold on its first get,
+    // "sst/0002" cold on its only get; block "wal/seg0" cold once.
+    assert_eq!(snap.counter("cloud.object.first_reads"), Some(2));
+    assert_eq!(snap.counter("cloud.block.first_reads"), Some(1));
+}

@@ -47,7 +47,9 @@ pub fn decode_id(key: &[u8]) -> Result<SeriesId> {
     if key.len() < 8 {
         return Err(Error::corruption("chunk key shorter than 8-byte ID prefix"));
     }
-    Ok(u64::from_be_bytes(key[..8].try_into().expect("checked length")))
+    Ok(u64::from_be_bytes(
+        key[..8].try_into().expect("checked length"),
+    ))
 }
 
 /// Decodes only the starting-timestamp suffix of a key.

@@ -136,8 +136,10 @@ impl Labels {
     pub fn from_pairs<K: Into<String>, V: Into<String>>(
         pairs: impl IntoIterator<Item = (K, V)>,
     ) -> Self {
-        let mut v: Vec<(String, String)> =
-            pairs.into_iter().map(|(k, val)| (k.into(), val.into())).collect();
+        let mut v: Vec<(String, String)> = pairs
+            .into_iter()
+            .map(|(k, val)| (k.into(), val.into()))
+            .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v.dedup_by(|a, b| {
             if a.0 == b.0 {
@@ -241,7 +243,11 @@ impl Labels {
     /// Heap bytes retained by this tag set (for memory accounting).
     pub fn heap_bytes(&self) -> usize {
         self.0.capacity() * std::mem::size_of::<(String, String)>()
-            + self.0.iter().map(|(k, v)| k.capacity() + v.capacity()).sum::<usize>()
+            + self
+                .0
+                .iter()
+                .map(|(k, v)| k.capacity() + v.capacity())
+                .sum::<usize>()
     }
 }
 
@@ -324,7 +330,10 @@ mod tests {
         let a = TimeRange::new(0, 10);
         let b = TimeRange::new(10, 20);
         let c = TimeRange::new(5, 15);
-        assert!(!a.overlaps(&b), "half-open ranges touching at 10 are disjoint");
+        assert!(
+            !a.overlaps(&b),
+            "half-open ranges touching at 10 are disjoint"
+        );
         assert!(a.overlaps(&c));
         assert!(a.contains(0));
         assert!(!a.contains(10));

@@ -457,9 +457,7 @@ mod tests {
 
     #[test]
     fn constant_values_are_one_bit_each() {
-        let samples: Vec<Sample> = (0..100)
-            .map(|i| Sample::new(i * 60_000, 42.0))
-            .collect();
+        let samples: Vec<Sample> = (0..100).map(|i| Sample::new(i * 60_000, 42.0)).collect();
         let bytes = compress_chunk(&samples).unwrap();
         // ~2 bits/sample after the header: 1 dod bit + 1 xor bit.
         assert!(bytes.len() < 64, "got {} bytes", bytes.len());

@@ -325,10 +325,7 @@ mod tests {
         enc.append_row(30, &[Some(3.0), Some(30.0)]).unwrap();
         let bytes = enc.finish();
         let dec = GroupChunkDecoder::new(&bytes).unwrap();
-        assert_eq!(
-            dec.decode_column(1).unwrap(),
-            vec![None, None, Some(30.0)]
-        );
+        assert_eq!(dec.decode_column(1).unwrap(), vec![None, None, Some(30.0)]);
         assert_eq!(
             dec.decode_column(0).unwrap(),
             vec![Some(1.0), Some(2.0), Some(3.0)]

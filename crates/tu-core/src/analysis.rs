@@ -165,7 +165,7 @@ mod tests {
             group_size: 101.0,
             r1: 10.0, // §3.1: 10x individual vs 35x grouped in TSBS
             r2: 35.0,
-            }
+        }
     }
 
     #[test]

@@ -199,8 +199,7 @@ impl Catalog {
         let mut out = Vec::new();
         let mut off = 0usize;
         while off + 8 <= bytes.len() {
-            let len =
-                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
             let stored = crc::unmask(u32::from_le_bytes(
                 bytes[off + 4..off + 8].try_into().expect("4 bytes"),
             ));

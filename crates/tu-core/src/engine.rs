@@ -138,6 +138,23 @@ pub struct TimeUnion {
     wal_unflushed: AtomicU64,
     replaying: std::sync::atomic::AtomicBool,
     worker: Mutex<Option<Worker>>,
+    obs: EngineObs,
+}
+
+/// Pre-resolved global-registry handles for the engine's hot paths (the
+/// registry lookup happens once at open, not per sample).
+struct EngineObs {
+    ingest_samples: &'static tu_obs::Counter,
+    queries: &'static tu_obs::Counter,
+}
+
+impl EngineObs {
+    fn resolve() -> Self {
+        EngineObs {
+            ingest_samples: tu_obs::counter("core.ingest.samples"),
+            queries: tu_obs::counter("core.query.requests"),
+        }
+    }
 }
 
 struct Worker {
@@ -150,12 +167,8 @@ impl TimeUnion {
     pub fn open(dir: impl Into<PathBuf>, opts: Options) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let env = StorageEnv::open_with_models(
-            &dir,
-            opts.latency,
-            opts.block_model,
-            opts.object_model,
-        )?;
+        let env =
+            StorageEnv::open_with_models(&dir, opts.latency, opts.block_model, opts.object_model)?;
         let page_cache = PageCache::new(opts.page_cache_bytes);
         let index = InvertedIndex::open(
             page_cache.clone(),
@@ -213,6 +226,7 @@ impl TimeUnion {
             wal_unflushed: AtomicU64::new(0),
             replaying: std::sync::atomic::AtomicBool::new(false),
             worker: Mutex::new(None),
+            obs: EngineObs::resolve(),
             opts,
         };
         engine.recover()?;
@@ -246,7 +260,10 @@ impl TimeUnion {
                 let _ = engine.apply_retention();
             })
             .expect("spawn maintenance worker");
-        *worker = Some(Worker { stop: stop_tx, join });
+        *worker = Some(Worker {
+            stop: stop_tx,
+            join,
+        });
     }
 
     /// Stops the background worker, if running, and waits for it.
@@ -365,6 +382,7 @@ impl TimeUnion {
 
     /// Fast-path insert by series ID (§3.4), skipping tag comparison.
     pub fn put_by_id(&self, id: SeriesId, t: Timestamp, v: Value) -> Result<()> {
+        self.obs.ingest_samples.inc();
         let seq = {
             let series = self.series.read();
             let obj = series
@@ -440,11 +458,9 @@ impl TimeUnion {
             .fetch_max(last_ts - first_ts, Ordering::Relaxed);
         let epoch = self.tree.seal_epoch();
         let sealed = self.tree.put(stream, first_ts, chunk);
-        self.pending_ckpts.lock().push(PendingCheckpoint {
-            stream,
-            seq,
-            epoch,
-        });
+        self.pending_ckpts
+            .lock()
+            .push(PendingCheckpoint { stream, seq, epoch });
         if sealed && self.opts.inline_maintenance && !self.replaying.load(Ordering::SeqCst) {
             self.maintain()?;
         }
@@ -524,6 +540,7 @@ impl TimeUnion {
         }
         let entries: Vec<(SeriesRef, Value)> =
             refs.iter().copied().zip(values.iter().copied()).collect();
+        self.obs.ingest_samples.add(entries.len() as u64);
         g.seq += 1;
         let seq = g.seq;
         self.log(WalRecord {
@@ -558,6 +575,7 @@ impl TimeUnion {
         }
         let entries: Vec<(SeriesRef, Value)> =
             refs.iter().copied().zip(values.iter().copied()).collect();
+        self.obs.ingest_samples.add(entries.len() as u64);
         let obj = self
             .groups
             .read()
@@ -822,6 +840,8 @@ impl TimeUnion {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<QueryResult> {
+        self.obs.queries.inc();
+        let _span = tu_obs::span("core.query");
         let ids = self.index.select(selectors)?;
         let mut out: QueryResult = Vec::new();
         for id in ids {
@@ -886,9 +906,9 @@ impl TimeUnion {
                 .members()
                 .filter_map(|(slot, unique)| {
                     let full = g.group_tags.merge(unique);
-                    let ok = selectors.iter().all(|sel| {
-                        full.get(&sel.key).is_some_and(|v| sel.matches_value(v))
-                    });
+                    let ok = selectors
+                        .iter()
+                        .all(|sel| full.get(&sel.key).is_some_and(|v| sel.matches_value(v)));
                     ok.then(|| (slot, full))
                 })
                 .collect();
@@ -1133,29 +1153,28 @@ mod tests {
             .query(&[Selector::exact("metric", "cpu")], 0, 1_000_000)
             .unwrap();
         assert_eq!(res[0].samples.len(), 100);
-        assert!(res[0]
-            .samples
-            .windows(2)
-            .all(|w| w[0].t < w[1].t));
+        assert!(res[0].samples.windows(2).all(|w| w[0].t < w[1].t));
     }
 
     #[test]
     fn group_round_trip_with_selectors() {
         let (_d, e) = engine();
         let gt = labels(&[("host", "h1")]);
-        let members = vec![
-            labels(&[("metric", "cpu")]),
-            labels(&[("metric", "mem")]),
-        ];
+        let members = vec![labels(&[("metric", "cpu")]), labels(&[("metric", "mem")])];
         let (gid, refs) = e.put_group(&gt, &members, 1_000, &[0.1, 0.2]).unwrap();
         e.put_group_fast(gid, &refs, 2_000, &[0.3, 0.4]).unwrap();
         // Selector on the shared group tag returns both members.
-        let res = e.query(&[Selector::exact("host", "h1")], 0, 10_000).unwrap();
+        let res = e
+            .query(&[Selector::exact("host", "h1")], 0, 10_000)
+            .unwrap();
         assert_eq!(res.len(), 2);
         // Selector on a member tag returns just that member.
         let res = e
             .query(
-                &[Selector::exact("host", "h1"), Selector::exact("metric", "mem")],
+                &[
+                    Selector::exact("host", "h1"),
+                    Selector::exact("metric", "mem"),
+                ],
                 0,
                 10_000,
             )
@@ -1172,12 +1191,21 @@ mod tests {
         let (_d, e) = engine();
         let gt = labels(&[("host", "h1")]);
         let (gid, refs) = e
-            .put_group(&gt, &[labels(&[("m", "a")]), labels(&[("m", "b")])], 10, &[1.0, 2.0])
+            .put_group(
+                &gt,
+                &[labels(&[("m", "a")]), labels(&[("m", "b")])],
+                10,
+                &[1.0, 2.0],
+            )
             .unwrap();
         // Next round only member a reports.
         e.put_group_fast(gid, &refs[..1], 20, &[3.0]).unwrap();
         let res = e
-            .query(&[Selector::exact("host", "h1"), Selector::exact("m", "b")], 0, 100)
+            .query(
+                &[Selector::exact("host", "h1"), Selector::exact("m", "b")],
+                0,
+                100,
+            )
             .unwrap();
         assert_eq!(res[0].samples, vec![Sample::new(10, 2.0)]);
     }
@@ -1189,9 +1217,7 @@ mod tests {
         let members: Vec<Labels> = (0..5)
             .map(|i| labels(&[("metric", &format!("m{i}"))]))
             .collect();
-        let (gid, refs) = e
-            .put_group(&gt, &members, 0, &[0.0; 5])
-            .unwrap();
+        let (gid, refs) = e.put_group(&gt, &members, 0, &[0.0; 5]).unwrap();
         for round in 1..50i64 {
             let vals: Vec<f64> = (0..5).map(|m| (round * 10 + m) as f64).collect();
             e.put_group_fast(gid, &refs, round * 30_000, &vals).unwrap();
@@ -1199,7 +1225,10 @@ mod tests {
         e.flush_all().unwrap();
         let res = e
             .query(
-                &[Selector::exact("host", "h1"), Selector::exact("metric", "m3")],
+                &[
+                    Selector::exact("host", "h1"),
+                    Selector::exact("metric", "m3"),
+                ],
                 0,
                 i64::MAX / 4,
             )
@@ -1217,7 +1246,9 @@ mod tests {
         e.put_by_id(id, 200_000, 2.0).unwrap();
         // Way in the past: early-flushed to the tree.
         e.put_by_id(id, 5_000, 0.5).unwrap();
-        let res = e.query(&[Selector::exact("metric", "cpu")], 0, 300_000).unwrap();
+        let res = e
+            .query(&[Selector::exact("metric", "cpu")], 0, 300_000)
+            .unwrap();
         let ts: Vec<i64> = res[0].samples.iter().map(|s| s.t).collect();
         assert_eq!(ts, vec![5_000, 100_000, 200_000]);
     }
@@ -1273,7 +1304,11 @@ mod tests {
         let e = TimeUnion::open(dir.path().join("db"), opts()).unwrap();
         assert_eq!(e.group_count(), 1);
         let res = e
-            .query(&[Selector::exact("host", "h1"), Selector::exact("m", "b")], 0, 100)
+            .query(
+                &[Selector::exact("host", "h1"), Selector::exact("m", "b")],
+                0,
+                100,
+            )
             .unwrap();
         assert_eq!(
             res[0].samples,
@@ -1291,7 +1326,8 @@ mod tests {
         o.clock = Arc::new(clock.clone());
         let e = TimeUnion::open(dir.path().join("db"), o).unwrap();
         e.put(&labels(&[("metric", "old")]), 1_000, 1.0).unwrap();
-        e.put(&labels(&[("metric", "new")]), 5_000_000, 1.0).unwrap();
+        e.put(&labels(&[("metric", "new")]), 5_000_000, 1.0)
+            .unwrap();
         clock.set(6_000_000);
         let (_, objects) = e.apply_retention().unwrap();
         assert_eq!(objects, 1);
@@ -1322,8 +1358,12 @@ mod tests {
     fn memory_stats_have_expected_shape() {
         let (_d, e) = engine();
         for i in 0..200 {
-            e.put(&labels(&[("host", &format!("h{i}")), ("metric", "cpu")]), 0, 1.0)
-                .unwrap();
+            e.put(
+                &labels(&[("host", &format!("h{i}")), ("metric", "cpu")]),
+                0,
+                1.0,
+            )
+            .unwrap();
         }
         let m = e.memory_stats();
         assert!(m.postings_bytes > 0);

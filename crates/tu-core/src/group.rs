@@ -92,9 +92,7 @@ fn decode_vals(payload: &[u8]) -> Result<Vec<Option<Value>>> {
     }
     Ok(payload
         .chunks_exact(VAL_ROW)
-        .map(|r| {
-            (r[0] != 0).then(|| f64::from_le_bytes(r[1..].try_into().expect("8 bytes")))
-        })
+        .map(|r| (r[0] != 0).then(|| f64::from_le_bytes(r[1..].try_into().expect("8 bytes"))))
         .collect())
 }
 
@@ -149,11 +147,7 @@ impl GroupObject {
 
     /// Adds a member (§3.1 case 2: new timeseries joining). Earlier rows
     /// of the open chunk are backfilled with NULL. Returns the new slot.
-    pub fn add_member(
-        &mut self,
-        val_arena: &ChunkArena,
-        unique_tags: Labels,
-    ) -> Result<SeriesRef> {
+    pub fn add_member(&mut self, val_arena: &ChunkArena, unique_tags: Labels) -> Result<SeriesRef> {
         let handle = val_arena.alloc()?;
         val_arena.write(handle, &encode_vals(&vec![None; self.head_count as usize]))?;
         let slot = self.members.len() as SeriesRef;
@@ -417,7 +411,8 @@ mod tests {
         g.add_member(&va, tags(&[("m", "a")])).unwrap();
         g.add_member(&va, tags(&[("m", "b")])).unwrap();
         assert_eq!(
-            g.insert_row(&tsa, &va, 10, &[(0, 1.0), (1, 10.0)], 3).unwrap(),
+            g.insert_row(&tsa, &va, 10, &[(0, 1.0), (1, 10.0)], 3)
+                .unwrap(),
             GroupInsert::Buffered
         );
         // Member 1 missing this round (§3.1 case 3).
@@ -425,7 +420,10 @@ mod tests {
             g.insert_row(&tsa, &va, 20, &[(0, 2.0)], 3).unwrap(),
             GroupInsert::Buffered
         );
-        match g.insert_row(&tsa, &va, 30, &[(0, 3.0), (1, 30.0)], 3).unwrap() {
+        match g
+            .insert_row(&tsa, &va, 30, &[(0, 3.0), (1, 30.0)], 3)
+            .unwrap()
+        {
             GroupInsert::Sealed {
                 first_ts,
                 last_ts,
@@ -452,7 +450,8 @@ mod tests {
         g.insert_row(&tsa, &va, 10, &[(0, 1.0)], 8).unwrap();
         g.insert_row(&tsa, &va, 20, &[(0, 2.0)], 8).unwrap();
         let b = g.add_member(&va, tags(&[("m", "b")])).unwrap();
-        g.insert_row(&tsa, &va, 30, &[(0, 3.0), (b, 33.0)], 8).unwrap();
+        g.insert_row(&tsa, &va, 30, &[(0, 3.0), (b, 33.0)], 8)
+            .unwrap();
         assert_eq!(
             g.head_samples_of(&tsa, &va, b).unwrap(),
             vec![(30, 33.0)],
@@ -487,7 +486,8 @@ mod tests {
         let mut g = group(&tsa);
         g.add_member(&va, tags(&[("m", "a")])).unwrap();
         g.add_member(&va, tags(&[("m", "b")])).unwrap();
-        g.insert_row(&tsa, &va, 10, &[(0, 1.0), (1, 2.0)], 8).unwrap();
+        g.insert_row(&tsa, &va, 10, &[(0, 1.0), (1, 2.0)], 8)
+            .unwrap();
         g.insert_row(&tsa, &va, 10, &[(1, 9.0)], 8).unwrap();
         assert_eq!(g.head_samples_of(&tsa, &va, 0).unwrap(), vec![(10, 1.0)]);
         assert_eq!(g.head_samples_of(&tsa, &va, 1).unwrap(), vec![(10, 9.0)]);

@@ -102,13 +102,14 @@ mod tests {
     #[test]
     fn merger_clips_and_dedups_latest_wins() {
         let mut m = SampleMerger::new(10, 30);
-        m.offer_all([Sample::new(5, 0.0), Sample::new(10, 1.0), Sample::new(20, 2.0)]);
+        m.offer_all([
+            Sample::new(5, 0.0),
+            Sample::new(10, 1.0),
+            Sample::new(20, 2.0),
+        ]);
         m.offer(20, 9.0); // newer source overrides
         m.offer(30, 3.0); // end-exclusive
-        assert_eq!(
-            m.finish(),
-            vec![Sample::new(10, 1.0), Sample::new(20, 9.0)]
-        );
+        assert_eq!(m.finish(), vec![Sample::new(10, 1.0), Sample::new(20, 9.0)]);
     }
 
     #[test]

@@ -236,9 +236,12 @@ mod tests {
     #[test]
     fn add_and_select_exact() {
         let (_d, idx) = index();
-        idx.add(&labels(&[("metric", "cpu"), ("host", "h1")]), 1).unwrap();
-        idx.add(&labels(&[("metric", "cpu"), ("host", "h2")]), 2).unwrap();
-        idx.add(&labels(&[("metric", "mem"), ("host", "h1")]), 3).unwrap();
+        idx.add(&labels(&[("metric", "cpu"), ("host", "h1")]), 1)
+            .unwrap();
+        idx.add(&labels(&[("metric", "cpu"), ("host", "h2")]), 2)
+            .unwrap();
+        idx.add(&labels(&[("metric", "mem"), ("host", "h1")]), 3)
+            .unwrap();
         assert_eq!(
             idx.select(&[Selector::exact("metric", "cpu")]).unwrap(),
             vec![1, 2]
@@ -281,7 +284,8 @@ mod tests {
         // in for all member series.
         let (_d, idx) = index();
         let gid = 7 | GROUP_ID_FLAG;
-        idx.add(&labels(&[("region", "1"), ("device", "1")]), gid).unwrap();
+        idx.add(&labels(&[("region", "1"), ("device", "1")]), gid)
+            .unwrap();
         assert_eq!(idx.postings_for("region", "1").unwrap(), vec![gid]);
         assert_eq!(idx.posting_entries(), 2);
     }
@@ -326,17 +330,16 @@ mod tests {
         {
             let idx = InvertedIndex::open(cache.clone(), dir.path().join("i"), 4096).unwrap();
             for i in 0..100u64 {
-                idx.add(
-                    &labels(&[("metric", "cpu"), ("host", &format!("h{i}"))]),
-                    i,
-                )
-                .unwrap();
+                idx.add(&labels(&[("metric", "cpu"), ("host", &format!("h{i}"))]), i)
+                    .unwrap();
             }
             idx.sync().unwrap();
         }
         let idx = InvertedIndex::open(cache, dir.path().join("i"), 4096).unwrap();
         assert_eq!(
-            idx.select(&[Selector::exact("metric", "cpu")]).unwrap().len(),
+            idx.select(&[Selector::exact("metric", "cpu")])
+                .unwrap()
+                .len(),
             100
         );
         assert_eq!(
@@ -360,7 +363,10 @@ mod tests {
             .unwrap();
         }
         let got = idx
-            .select(&[Selector::exact("metric", "cpu"), Selector::exact("dc", "dc2")])
+            .select(&[
+                Selector::exact("metric", "cpu"),
+                Selector::exact("dc", "dc2"),
+            ])
             .unwrap();
         assert_eq!(got.len(), 250);
         assert!(got.iter().all(|id| id % 2 == 0 && id % 4 == 2));

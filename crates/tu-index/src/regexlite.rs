@@ -37,7 +37,10 @@ enum ByteClass {
     Literal(u8),
     Any,
     /// Sorted inclusive ranges; `negated` flips membership.
-    Ranges { ranges: Vec<(u8, u8)>, negated: bool },
+    Ranges {
+        ranges: Vec<(u8, u8)>,
+        negated: bool,
+    },
 }
 
 impl ByteClass {
@@ -183,7 +186,10 @@ impl<'a> Parser<'a> {
                 match self.bump() {
                     Some(e) => match escape_class(e)? {
                         ByteClass::Literal(l) => l,
-                        ByteClass::Ranges { ranges: rs, negated: false } => {
+                        ByteClass::Ranges {
+                            ranges: rs,
+                            negated: false,
+                        } => {
                             ranges.extend(rs);
                             continue;
                         }

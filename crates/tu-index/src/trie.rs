@@ -250,7 +250,9 @@ impl DoubleArrayTrie {
                 continue;
             }
             let start = base_n as u64 + TERM_CODE;
-            let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+            let checks = inner
+                .check
+                .get_range(start, (ALPHABET - TERM_CODE) as usize)?;
             for (i, &chk) in checks.iter().enumerate().rev() {
                 if chk == node as i32 {
                     let c = TERM_CODE + i as u64;
@@ -363,14 +365,8 @@ fn split_leaf(
         node = child;
     }
     // Diverge: one child continues the old suffix, one the new.
-    let old_code = old_suffix
-        .get(p)
-        .map(|&b| code_of(b))
-        .unwrap_or(TERM_CODE);
-    let new_code = new_suffix
-        .get(p)
-        .map(|&b| code_of(b))
-        .unwrap_or(TERM_CODE);
+    let old_code = old_suffix.get(p).map(|&b| code_of(b)).unwrap_or(TERM_CODE);
+    let new_code = new_suffix.get(p).map(|&b| code_of(b)).unwrap_or(TERM_CODE);
     debug_assert_ne!(old_code, new_code, "suffixes differ beyond prefix");
 
     let old_child = claim_child(inner, node, old_code)?;
@@ -438,7 +434,9 @@ fn children_of(inner: &Inner, parent: u64) -> Result<Vec<u64>> {
         return Ok(out);
     }
     let start = base_p as u64 + TERM_CODE;
-    let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+    let checks = inner
+        .check
+        .get_range(start, (ALPHABET - TERM_CODE) as usize)?;
     for (i, &chk) in checks.iter().enumerate() {
         if chk == parent as i32 {
             out.push(TERM_CODE + i as u64);
@@ -498,7 +496,9 @@ fn relocate(inner: &mut Inner, parent: u64, new_base: u64, codes: &[u64]) -> Res
         // Re-point grandchildren at the moved node.
         if old_node_base > 0 {
             let start = old_node_base as u64 + TERM_CODE;
-            let checks = inner.check.get_range(start, (ALPHABET - TERM_CODE) as usize)?;
+            let checks = inner
+                .check
+                .get_range(start, (ALPHABET - TERM_CODE) as usize)?;
             for (i, &chk) in checks.iter().enumerate() {
                 if chk == old as i32 {
                     inner.check.set(start + i as u64, new as i32)?;

@@ -26,12 +26,19 @@ struct Inner {
 }
 
 /// A byte-budgeted LRU cache of parsed SSTable blocks.
+///
+/// Hit/miss/eviction counts are kept both locally (per cache instance, for
+/// the experiment harness) and mirrored into the global `tu-obs` registry
+/// under `lsm.cache.*` (aggregated across every cache in the process).
 pub struct BlockCache {
     inner: Mutex<Inner>,
     budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    obs_hits: &'static tu_obs::Counter,
+    obs_misses: &'static tu_obs::Counter,
+    obs_evictions: &'static tu_obs::Counter,
 }
 
 impl BlockCache {
@@ -46,6 +53,9 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            obs_hits: tu_obs::counter("lsm.cache.hits"),
+            obs_misses: tu_obs::counter("lsm.cache.misses"),
+            obs_evictions: tu_obs::counter("lsm.cache.evictions"),
         }
     }
 
@@ -58,10 +68,12 @@ impl BlockCache {
             Some(e) => {
                 e.stamp = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 Some(e.block.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
                 None
             }
         }
@@ -102,6 +114,7 @@ impl BlockCache {
                     let e = inner.map.remove(&k).expect("present");
                     inner.used -= e.charge;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.obs_evictions.inc();
                 }
                 None => break,
             }

@@ -161,11 +161,7 @@ impl LeveledTree {
         Ok(())
     }
 
-    fn build_tables(
-        &self,
-        entries: &[(Vec<u8>, Vec<u8>)],
-        level: usize,
-    ) -> Result<Vec<TableMeta>> {
+    fn build_tables(&self, entries: &[(Vec<u8>, Vec<u8>)], level: usize) -> Result<Vec<TableMeta>> {
         let on_slow = self.level_is_slow(level);
         let mut out = Vec::new();
         let mut builder = TableBuilder::new();
@@ -207,10 +203,8 @@ impl LeveledTree {
     /// foreground insertion" while compaction lags).
     pub fn flush_memtables(&self) -> Result<()> {
         while let Some(imm) = self.mem.oldest_immutable() {
-            let entries: Vec<(Vec<u8>, Vec<u8>)> = imm
-                .iter()
-                .map(|(k, v)| (k.to_vec(), v.to_vec()))
-                .collect();
+            let entries: Vec<(Vec<u8>, Vec<u8>)> =
+                imm.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
             let metas = self.build_tables(&entries, 0)?;
             self.levels.lock()[0].extend(metas);
             self.mem.retire(&imm);
@@ -269,8 +263,16 @@ impl LeveledTree {
             if victims.is_empty() {
                 return Ok(());
             }
-            let min_key = victims.iter().map(|t| t.props.first_key.clone()).min().expect("nonempty");
-            let max_key = victims.iter().map(|t| t.props.last_key.clone()).max().expect("nonempty");
+            let min_key = victims
+                .iter()
+                .map(|t| t.props.first_key.clone())
+                .min()
+                .expect("nonempty");
+            let max_key = victims
+                .iter()
+                .map(|t| t.props.last_key.clone())
+                .max()
+                .expect("nonempty");
             // All overlapping tables in the next level are read (the
             // behaviour Figure 4 quantifies).
             let next = level + 1;

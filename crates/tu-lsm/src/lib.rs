@@ -26,6 +26,6 @@ pub mod sstable;
 pub mod tree;
 pub mod wal;
 
-pub use memtable::MemTable;
 pub use leveled::{LeveledOptions, LeveledTree};
+pub use memtable::MemTable;
 pub use tree::{TimeTree, TreeOptions};

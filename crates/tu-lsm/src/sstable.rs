@@ -453,6 +453,10 @@ impl Table {
                 return Ok(hit);
             }
         }
+        // Cache miss: this read reaches storage (one billable Get on the
+        // slow tier — the per-block term of Equations 4/6).
+        tu_obs::counter("lsm.sstable.block_loads").inc();
+        tu_obs::counter("lsm.sstable.block_load_bytes").add(len);
         let framed = self.source.read_at(off, len as usize)?;
         let entries = Arc::new(block_entries(&unframe_block(&framed)?)?);
         if let Some(cache) = &self.cache {

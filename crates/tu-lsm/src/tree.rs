@@ -281,6 +281,7 @@ impl TimeTree {
     }
 
     fn flush_one(&self, imm: &Arc<MemTable>) -> Result<()> {
+        let _span = tu_obs::span("lsm.flush");
         let r1 = self.levels.lock().r1_ms;
         // Split entries into time-partition buckets on the current grid.
         let mut buckets: BTreeMap<i64, Vec<(Vec<u8>, Vec<u8>)>> = BTreeMap::new();
@@ -393,6 +394,7 @@ impl TimeTree {
     // --- L0 -> L1 -------------------------------------------------------------
 
     fn compact_l0_to_l1(&self) -> Result<()> {
+        let _span = tu_obs::span("lsm.compact.l0_l1");
         // Select the oldest L0 partition plus everything overlapping it.
         let (l0_sel, l1_sel, out_len) = {
             let mut lv = self.levels.lock();
@@ -454,7 +456,10 @@ impl TimeTree {
         let mut buckets: BTreeMap<i64, Vec<(Vec<u8>, Vec<u8>)>> = BTreeMap::new();
         for (k, v) in merged {
             let ts = decode_ts(&k)?;
-            buckets.entry(ts.div_euclid(out_len)).or_default().push((k, v));
+            buckets
+                .entry(ts.div_euclid(out_len))
+                .or_default()
+                .push((k, v));
         }
         let mut new_parts = Vec::new();
         for (slot, entries) in buckets {
@@ -501,6 +506,7 @@ impl TimeTree {
     }
 
     fn compact_l1_to_l2(&self) -> Result<()> {
+        let _span = tu_obs::span("lsm.compact.l1_l2");
         let (selected, window) = {
             let mut lv = self.levels.lock();
             let Some(oldest) = lv.l1.iter().map(|p| p.range.start).min() else {
@@ -582,7 +588,10 @@ impl TimeTree {
             let mut buckets: BTreeMap<i64, Vec<(Vec<u8>, Vec<u8>)>> = BTreeMap::new();
             for (k, v) in fresh {
                 let ts = decode_ts(&k)?;
-                buckets.entry(ts.div_euclid(align)).or_default().push((k, v));
+                buckets
+                    .entry(ts.div_euclid(align))
+                    .or_default()
+                    .push((k, v));
             }
             for (slot, entries) in buckets {
                 let range = TimeRange::new(slot * align, (slot + 1) * align);
@@ -653,10 +662,7 @@ impl TimeTree {
 
     /// Routes out-of-order entries into patches appended to the L2 tables
     /// whose ID ranges cover them (Figure 11).
-    fn append_patches(
-        &self,
-        groups: BTreeMap<i64, Vec<(Vec<u8>, Vec<u8>)>>,
-    ) -> Result<()> {
+    fn append_patches(&self, groups: BTreeMap<i64, Vec<(Vec<u8>, Vec<u8>)>>) -> Result<()> {
         for (part_start, entries) in groups {
             // Snapshot the partition's table ID ranges.
             let (range, id_ranges) = {
@@ -776,7 +782,8 @@ impl TimeTree {
                     );
                 }
                 // Keep tables sorted by their first key for routing.
-                p.tables.sort_by(|a, b| a.base.props.first_key.cmp(&b.base.props.first_key));
+                p.tables
+                    .sort_by(|a, b| a.base.props.first_key.cmp(&b.base.props.first_key));
             }
             for meta in &all {
                 self.delete_table(meta)?;
@@ -857,17 +864,15 @@ impl TimeTree {
         let tr = TimeRange::new(start, end.max(start));
         // (key -> (seq, value)), seq u64::MAX for memtable entries.
         let mut acc: BTreeMap<Vec<u8>, (u64, Vec<u8>)> = BTreeMap::new();
-        let consider = |acc: &mut BTreeMap<Vec<u8>, (u64, Vec<u8>)>,
-                        k: Vec<u8>,
-                        seq: u64,
-                        v: Vec<u8>| {
-            match acc.get(&k) {
-                Some((s, _)) if *s >= seq => {}
-                _ => {
-                    acc.insert(k, (seq, v));
+        let consider =
+            |acc: &mut BTreeMap<Vec<u8>, (u64, Vec<u8>)>, k: Vec<u8>, seq: u64, v: Vec<u8>| {
+                match acc.get(&k) {
+                    Some((s, _)) if *s >= seq => {}
+                    _ => {
+                        acc.insert(k, (seq, v));
+                    }
                 }
-            }
-        };
+            };
         // Snapshot the level metadata, then read without holding the lock.
         let (l01_tables, l2_tables): (Vec<TableMeta>, Vec<TableMeta>) = {
             let lv = self.levels.lock();
@@ -978,8 +983,7 @@ impl TimeTree {
             .iter()
             .flat_map(|p| p.tables.iter())
             .map(|t| {
-                t.base.props.file_len
-                    + t.patches.iter().map(|x| x.props.file_len).sum::<u64>()
+                t.base.props.file_len + t.patches.iter().map(|x| x.props.file_len).sum::<u64>()
             })
             .sum();
         s
@@ -1057,8 +1061,8 @@ impl TimeTree {
             Err(e) if e.is_not_found() => return Ok(()),
             Err(e) => return Err(e),
         };
-        let text = String::from_utf8(bytes)
-            .map_err(|_| Error::corruption("manifest is not utf-8"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| Error::corruption("manifest is not utf-8"))?;
         let mut lv = self.levels.lock();
         for (i, line) in text.lines().enumerate() {
             let fields: Vec<&str> = line.split_whitespace().collect();
@@ -1133,11 +1137,7 @@ impl TimeTree {
                         .ok_or_else(|| Error::corruption("patch before its base table"))?;
                     table.patches.push(meta);
                 }
-                other => {
-                    return Err(Error::corruption(format!(
-                        "unknown manifest tag {other}"
-                    )))
-                }
+                other => return Err(Error::corruption(format!("unknown manifest tag {other}"))),
             }
         }
         lv.l0.sort_by_key(|p| p.range.start);
@@ -1338,10 +1338,7 @@ mod tests {
         t.put(2, 10 * MIN, chunk(4242));
         t.flush_all_to_slow().unwrap();
         let after = t.stats();
-        assert!(
-            after.patches_created > before.patches_created,
-            "{after:?}"
-        );
+        assert!(after.patches_created > before.patches_created, "{after:?}");
         assert_eq!(t.get_chunk(2, 10 * MIN).unwrap(), Some(chunk(4242)));
         // Old data in the patched partition is still there.
         assert_eq!(t.range_chunks(2, 0, 7 * HOUR).unwrap().len(), 13);
@@ -1392,10 +1389,7 @@ mod tests {
         let (_d, t) = tree_with(opts);
         load(&t, 32, 12);
         let s = t.stats();
-        assert!(
-            s.r1_ms < 2 * HOUR,
-            "partition length should shrink: {s:?}"
-        );
+        assert!(s.r1_ms < 2 * HOUR, "partition length should shrink: {s:?}");
         assert!(s.r1_ms >= 15 * MIN);
     }
 
@@ -1428,7 +1422,9 @@ mod tests {
         load(&t, 3, 8);
         let chunks = t.range_chunks(1, 1 * HOUR, 3 * HOUR).unwrap();
         assert_eq!(chunks.len(), 4); // starts at 1h, 1.5h, 2h, 2.5h
-        assert!(chunks.iter().all(|(ts, _)| (1 * HOUR..3 * HOUR).contains(ts)));
+        assert!(chunks
+            .iter()
+            .all(|(ts, _)| (1 * HOUR..3 * HOUR).contains(ts)));
         assert!(t.range_chunks(99, 0, 10 * HOUR).unwrap().is_empty());
     }
 

@@ -67,6 +67,8 @@ pub struct Wal {
     /// Buffered records waiting for the next append; batching keeps the
     /// per-sample logging cost off the insert path.
     pending: Mutex<Vec<u8>>,
+    obs_appends: &'static tu_obs::Counter,
+    obs_flushed_bytes: &'static tu_obs::Counter,
 }
 
 impl Wal {
@@ -76,11 +78,14 @@ impl Wal {
             store,
             name: name.into(),
             pending: Mutex::new(Vec::new()),
+            obs_appends: tu_obs::counter("lsm.wal.append_records"),
+            obs_flushed_bytes: tu_obs::counter("lsm.wal.flushed_bytes"),
         }
     }
 
     /// Queues a record; call [`Wal::flush`] to persist the batch.
     pub fn append(&self, record: &WalRecord) {
+        self.obs_appends.inc();
         self.pending.lock().extend_from_slice(&record.encode());
     }
 
@@ -91,6 +96,7 @@ impl Wal {
             return Ok(());
         }
         let batch = std::mem::take(&mut *pending);
+        self.obs_flushed_bytes.add(batch.len() as u64);
         self.store.append(&self.name, &batch)?;
         Ok(())
     }
@@ -110,8 +116,7 @@ impl Wal {
             if off + 8 > bytes.len() {
                 break; // torn tail
             }
-            let len =
-                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
             let stored = crc::unmask(u32::from_le_bytes(
                 bytes[off + 4..off + 8].try_into().expect("4 bytes"),
             ));
@@ -151,8 +156,7 @@ impl Wal {
         let mut kept = Vec::new();
         let mut dropped = 0usize;
         for r in &records {
-            let obsolete = !r.checkpoint
-                && watermark.get(&r.stream).is_some_and(|&w| r.seq <= w);
+            let obsolete = !r.checkpoint && watermark.get(&r.stream).is_some_and(|&w| r.seq <= w);
             // Checkpoints themselves are kept only if still useful (some
             // live record may follow with a later checkpoint superseding
             // them; keeping the max per stream is enough).
@@ -288,7 +292,9 @@ mod tests {
         assert!(payloads.contains(&b"s1-live".as_slice()));
         assert!(!payloads.contains(&b"s1-old".as_slice()));
         // The surviving checkpoint still guards stream 1.
-        assert!(got.iter().any(|r| r.checkpoint && r.stream == 1 && r.seq == 2));
+        assert!(got
+            .iter()
+            .any(|r| r.checkpoint && r.stream == 1 && r.seq == 2));
     }
 
     #[test]

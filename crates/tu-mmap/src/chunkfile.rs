@@ -221,12 +221,7 @@ impl ChunkArena {
     /// `old_payload_len` bytes, updating the length prefix — the O(1)
     /// fast path for in-order sample appends (no read-modify-write of the
     /// whole slot).
-    pub fn append(
-        &self,
-        handle: ChunkHandle,
-        old_payload_len: usize,
-        suffix: &[u8],
-    ) -> Result<()> {
+    pub fn append(&self, handle: ChunkHandle, old_payload_len: usize, suffix: &[u8]) -> Result<()> {
         let new_len = old_payload_len + suffix.len();
         if new_len + 2 > self.chunk_size {
             return Err(Error::invalid(format!(
@@ -240,8 +235,7 @@ impl ChunkArena {
             .get(handle.file as usize)
             .ok_or_else(|| Error::invalid("chunk handle file out of range"))?;
         let off = self.chunk_offset(handle.slot);
-        af.file
-            .write_at(off + 2 + old_payload_len as u64, suffix)?;
+        af.file.write_at(off + 2 + old_payload_len as u64, suffix)?;
         af.file.write_at(off, &(new_len as u16).to_le_bytes())
     }
 

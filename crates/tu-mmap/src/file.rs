@@ -172,7 +172,8 @@ mod tests {
         let f = PagedFile::open(cache.clone(), dir.path().join("x")).unwrap();
         let total = 64 * PAGE_SIZE;
         for i in 0..total / 8 {
-            f.write_at((i * 8) as u64, &(i as u64).to_le_bytes()).unwrap();
+            f.write_at((i * 8) as u64, &(i as u64).to_le_bytes())
+                .unwrap();
         }
         for i in (0..total / 8).step_by(777) {
             let mut buf = [0u8; 8];

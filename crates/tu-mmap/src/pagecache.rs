@@ -307,10 +307,7 @@ mod tests {
         let (dir, cache) = cache_with(2);
         let (id, backing) = cache.register(&dir.path().join("f")).unwrap();
         backing.len.store(16 * PAGE_SIZE as u64, Ordering::Relaxed);
-        backing
-            .file
-            .set_len(16 * PAGE_SIZE as u64)
-            .unwrap();
+        backing.file.set_len(16 * PAGE_SIZE as u64).unwrap();
         // Dirty page 0, then touch enough pages to evict it.
         cache.with_page(id, 0, true, |p| p[0] = 9).unwrap();
         for page in 1..5 {

@@ -195,8 +195,8 @@ impl<T: Element> SegArray<T> {
         let mut buf = Vec::new();
         while remaining > 0 {
             let (seg_no, off) = self.locate(pos);
-            let in_segment = self.slots_per_segment
-                - (pos % self.slots_per_segment as u64) as usize;
+            let in_segment =
+                self.slots_per_segment - (pos % self.slots_per_segment as u64) as usize;
             let n = in_segment.min(remaining);
             let seg = self.segment(seg_no)?;
             let want = n * T::WIDTH;

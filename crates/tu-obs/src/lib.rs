@@ -1,0 +1,83 @@
+//! Observability for TimeUnion: a lock-light metrics registry plus RAII
+//! span timers, with zero dependencies beyond `std`.
+//!
+//! The paper's whole evaluation (§6, Figures 13–19) is computed from
+//! counters the system itself must expose — S3 Get/Put request counts
+//! (Equations 4 and 6 charge one Get per SSTable data block), bytes moved
+//! per tier, memory occupied, and per-stage latencies. This crate is the
+//! single place those counters live:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (requests, bytes,
+//!   samples). One relaxed atomic add on the hot path.
+//! * [`Gauge`] — a signed level (bytes resident, queue depths).
+//! * [`Histogram`] — fixed power-of-two buckets over nanoseconds with
+//!   p50/p95/p99 estimates; recording is two relaxed atomic adds.
+//! * [`Registry`] — names → metrics. Metric handles are `&'static`
+//!   (registration leaks one small allocation per metric), so steady-state
+//!   instrumentation never takes a lock; the registry's `RwLock` guards
+//!   only registration and snapshotting.
+//! * [`span!`] / [`span_ns`] — RAII timers that record wall-clock (or
+//!   caller-supplied virtual) nanoseconds into a histogram on drop.
+//! * [`MetricsSnapshot`] — a point-in-time copy of every metric with a
+//!   stable [`std::fmt::Display`] rendering and a [`MetricsSnapshot::to_json`]
+//!   encoding, dumped by `tu-bench`'s figure binaries and the examples so
+//!   each figure regeneration also emits the raw counters behind it.
+//!
+//! Instrumented metric names, units, and the paper figure/equation each
+//! one maps to are catalogued in `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use tu_obs::{counter, global, span};
+//!
+//! {
+//!     let _timer = span("compaction"); // records span.compaction.ns on drop
+//!     counter("cloud.object.get_requests").add(3);
+//! }
+//! let snap = global().snapshot();
+//! assert_eq!(snap.counter("cloud.object.get_requests"), Some(3));
+//! println!("{snap}");
+//! ```
+
+mod registry;
+mod snapshot;
+mod spans;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use snapshot::MetricsSnapshot;
+pub use spans::{span, span_of, SpanTimer};
+
+/// The process-wide default registry every instrumented crate records to.
+pub fn global() -> &'static Registry {
+    registry::global()
+}
+
+/// Shorthand for [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &str) -> &'static Counter {
+    global().counter(name)
+}
+
+/// Shorthand for [`Registry::gauge`] on the [`global`] registry.
+pub fn gauge(name: &str) -> &'static Gauge {
+    global().gauge(name)
+}
+
+/// Shorthand for [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &str) -> &'static Histogram {
+    global().histogram(name)
+}
+
+/// Starts an RAII span timer recording `span.<name>.ns` in the [`global`]
+/// registry when dropped.
+///
+/// ```
+/// let _guard = tu_obs::span!("flush");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,205 @@
+//! Point-in-time metric snapshots with stable text and JSON renderings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::registry::HistogramSnapshot;
+
+/// Every metric of a [`crate::Registry`] at one instant. Maps are sorted
+/// by name, so both renderings are deterministic and diffable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter, `None` if never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of one gauge, `None` if never registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Snapshot of one histogram, `None` if never registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counter deltas since an earlier snapshot (gauges and histograms are
+    /// levels/distributions and are carried over as-is). Counters absent
+    /// from `earlier` count from zero.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Stable JSON encoding:
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,"sum":..,"p50":..,"p95":..,"p99":..},..}}`.
+    ///
+    /// Hand-rolled because metric names are plain identifiers and values
+    /// are integers — no escaping or float formatting subtleties.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"histograms\":{");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let v = format!(
+                    "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    h.count,
+                    h.sum,
+                    h.p50().unwrap_or(0),
+                    h.p95().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                );
+                (k, v)
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(escape(k).as_ref());
+        out.push_str("\":");
+        out.push_str(&v);
+    }
+}
+
+/// Metric names are dotted identifiers by convention; escape defensively
+/// anyway so arbitrary names cannot corrupt the JSON.
+fn escape(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.contains(['"', '\\']) || name.chars().any(|c| c.is_control()) {
+        std::borrow::Cow::Owned(
+            name.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect(),
+        )
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "--- metrics snapshot ---")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<44} {v:>14}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name:<44} {v:>14}")?;
+        }
+        for (name, h) in &self.histograms {
+            match (h.mean(), h.p50(), h.p95(), h.p99()) {
+                (Some(mean), Some(p50), Some(p95), Some(p99)) => writeln!(
+                    f,
+                    "{name:<44} count={:<8} mean={mean:<12.0} p50={p50:<10} p95={p95:<10} p99={p99}",
+                    h.count,
+                )?,
+                _ => writeln!(f, "{name:<44} count=0")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("cloud.object.get_requests").add(12);
+        r.gauge("lsm.memtable.bytes").set(-3);
+        r.histogram("span.flush.ns").record(1_500);
+        r
+    }
+
+    #[test]
+    fn display_lists_every_metric() {
+        let text = sample_registry().snapshot().to_string();
+        assert!(text.contains("cloud.object.get_requests"));
+        assert!(text.contains("12"));
+        assert!(text.contains("lsm.memtable.bytes"));
+        assert!(text.contains("span.flush.ns"));
+        assert!(text.contains("p99="));
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shape() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"cloud.object.get_requests\":12"));
+        assert!(json.contains("\"lsm.memtable.bytes\":-3"));
+        assert!(json.contains("\"span.flush.ns\":{\"count\":1,"));
+        assert!(json.ends_with("}}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name").add(1);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn since_subtracts_counters_only() {
+        let r = sample_registry();
+        let before = r.snapshot();
+        r.counter("cloud.object.get_requests").add(5);
+        r.histogram("span.flush.ns").record(10);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("cloud.object.get_requests"), Some(5));
+        // Histograms carry over the full distribution.
+        assert_eq!(delta.histogram("span.flush.ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn lookup_missing_metrics_is_none() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.gauge("nope"), None);
+        assert!(s.histogram("nope").is_none());
+    }
+}

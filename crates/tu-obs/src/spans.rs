@@ -1,0 +1,104 @@
+//! RAII span timers.
+//!
+//! A span is a histogram of nanosecond durations named `span.<name>.ns`.
+//! [`span`] times wall-clock; [`SpanTimer::observe_ns`] lets callers that
+//! measure virtual storage time (see `tu-cloud`'s cost clock) record a
+//! duration they computed themselves.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Times from construction to drop, recording into a histogram.
+///
+/// Dropping records exactly once; [`SpanTimer::discard`] cancels.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: &'static Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+/// Starts a wall-clock span recording `span.<name>.ns` in the global
+/// registry when the returned guard drops.
+pub fn span(name: &str) -> SpanTimer {
+    span_of(crate::global(), name)
+}
+
+/// Starts a span against an explicit registry.
+pub fn span_of(registry: &crate::Registry, name: &str) -> SpanTimer {
+    SpanTimer {
+        hist: registry.histogram(&format!("span.{name}.ns")),
+        start: Instant::now(),
+        armed: true,
+    }
+}
+
+impl SpanTimer {
+    /// Nanoseconds elapsed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Records `ns` (e.g. virtual storage nanoseconds) instead of the
+    /// wall-clock elapsed time, consuming the timer.
+    pub fn observe_ns(mut self, ns: u64) {
+        self.armed = false;
+        self.hist.record(ns);
+    }
+
+    /// Consumes the timer without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn dropping_records_once() {
+        let r = Registry::new();
+        {
+            let _t = span_of(&r, "work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = r.histogram("span.work.ns").snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 2_000_000, "recorded {} ns", s.sum);
+    }
+
+    #[test]
+    fn observe_ns_overrides_wall_clock() {
+        let r = Registry::new();
+        span_of(&r, "virt").observe_ns(123);
+        let s = r.histogram("span.virt.ns").snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 123);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let r = Registry::new();
+        span_of(&r, "cancelled").discard();
+        assert_eq!(r.histogram("span.cancelled.ns").count(), 0);
+    }
+
+    #[test]
+    fn global_span_macro_compiles_and_records() {
+        {
+            let _g = crate::span!("macro_test_span");
+        }
+        assert!(crate::global().histogram("span.macro_test_span.ns").count() >= 1);
+    }
+}

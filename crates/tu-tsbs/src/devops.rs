@@ -257,7 +257,10 @@ impl DevOpsGenerator {
             ("region", region.to_string()),
             ("datacenter", format!("{region}{}", (h >> 8) % 3 + 1)),
             ("rack", format!("{}", (h >> 16) % 100)),
-            ("os", OSES[((h >> 24) % OSES.len() as u64) as usize].to_string()),
+            (
+                "os",
+                OSES[((h >> 24) % OSES.len() as u64) as usize].to_string(),
+            ),
             (
                 "arch",
                 ARCHES[((h >> 32) % ARCHES.len() as u64) as usize].to_string(),
@@ -337,10 +340,7 @@ mod tests {
         let l0 = gen.host_labels(0);
         assert_eq!(l0.len(), 10);
         assert_eq!(l0.get("hostname"), Some("host_0"));
-        assert_ne!(
-            gen.host_labels(1).get("hostname"),
-            l0.get("hostname")
-        );
+        assert_ne!(gen.host_labels(1).get("hostname"), l0.get("hostname"));
         // Series labels add the metric tag -> 11 tags (the `T` of Eq 1).
         assert_eq!(gen.series_labels(0, 0).len(), 11);
     }

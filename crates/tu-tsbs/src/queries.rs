@@ -181,7 +181,15 @@ mod tests {
         let names: Vec<&str> = QueryPattern::table2().iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["1-1-1", "1-1-24", "1-8-1", "5-1-1", "5-1-24", "5-8-1", "lastpoint"]
+            vec![
+                "1-1-1",
+                "1-1-24",
+                "1-8-1",
+                "5-1-1",
+                "5-1-24",
+                "5-8-1",
+                "lastpoint"
+            ]
         );
         assert_eq!(QueryPattern::all().len(), 9);
     }

@@ -124,7 +124,13 @@ mod tests {
     fn remote_write_and_query_round_trip() {
         let (_d, c) = sim();
         let batch: Vec<(Labels, i64, f64)> = (0..10)
-            .map(|i| (labels(&[("metric", "cpu"), ("host", "h1")]), i * 1000, i as f64))
+            .map(|i| {
+                (
+                    labels(&[("metric", "cpu"), ("host", "h1")]),
+                    i * 1000,
+                    i as f64,
+                )
+            })
             .collect();
         c.remote_write(&batch).unwrap();
         let res = c
@@ -156,8 +162,7 @@ mod tests {
             .unwrap();
         assert!(c.engine().block_count() >= 1);
         let gets_before = c.storage().object.stats().get_requests;
-        c.query(&[Selector::exact("m", "x")], 0, two_hours)
-            .unwrap();
+        c.query(&[Selector::exact("m", "x")], 0, two_hours).unwrap();
         let gets_after = c.storage().object.stats().get_requests;
         assert!(
             gets_after > gets_before,

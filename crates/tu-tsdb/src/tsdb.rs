@@ -126,6 +126,8 @@ pub struct Tsdb {
     next_series: Mutex<u64>,
     next_block: Mutex<u64>,
     cache: Arc<BlockCache>,
+    obs_samples: &'static tu_obs::Counter,
+    obs_queries: &'static tu_obs::Counter,
 }
 
 impl Tsdb {
@@ -141,6 +143,8 @@ impl Tsdb {
             next_block: Mutex::new(0),
             cache,
             opts,
+            obs_samples: tu_obs::counter("tsdb.ingest.samples"),
+            obs_queries: tu_obs::counter("tsdb.query.requests"),
         })
     }
 
@@ -173,6 +177,7 @@ impl Tsdb {
         if !self.labels_of.read().contains_key(&id) {
             return Err(Error::not_found(format!("series {id}")));
         }
+        self.obs_samples.inc();
         // Window roll: flush the head when the sample crosses its end.
         loop {
             let head_range = self.head.read().range;
@@ -249,6 +254,7 @@ impl Tsdb {
     /// Flushes the head into a self-contained persisted block. The paper's
     /// Challenge: this walks and serializes *everything*, stalling inserts.
     pub fn flush_head(&self) -> Result<()> {
+        let _span = tu_obs::span("tsdb.flush_head");
         let mut head = self.head.write();
         if head.series.is_empty() {
             return Ok(());
@@ -332,7 +338,10 @@ impl Tsdb {
             ids.dedup();
             acc = Some(match acc {
                 None => ids,
-                Some(prev) => prev.into_iter().filter(|id| ids.binary_search(id).is_ok()).collect(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|id| ids.binary_search(id).is_ok())
+                    .collect(),
             });
             if acc.as_ref().is_some_and(|a| a.is_empty()) {
                 break;
@@ -376,6 +385,8 @@ impl Tsdb {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<Vec<(Labels, Vec<Sample>)>> {
+        self.obs_queries.inc();
+        let _span = tu_obs::span("tsdb.query");
         let mut per_series: HashMap<SeriesId, (Labels, Vec<Sample>)> = HashMap::new();
         // Persisted blocks.
         let blocks = self.blocks.read().clone();

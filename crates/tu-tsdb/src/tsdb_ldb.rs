@@ -99,8 +99,7 @@ impl TsdbLdb {
                 let start = t.div_euclid(self.block_range_ms) * self.block_range_ms;
                 let mut window = self.window.write();
                 if window.is_empty() {
-                    *window =
-                        tu_common::TimeRange::new(start, start + self.block_range_ms);
+                    *window = tu_common::TimeRange::new(start, start + self.block_range_ms);
                 }
                 continue;
             }
@@ -205,7 +204,10 @@ impl TsdbLdb {
                 .max_chunk_span
                 .load(std::sync::atomic::Ordering::Relaxed)
                 + 1;
-            for (_, chunk) in self.tree.range_chunks(id, start.saturating_sub(slack), end)? {
+            for (_, chunk) in self
+                .tree
+                .range_chunks(id, start.saturating_sub(slack), end)?
+            {
                 for s in gorilla::decompress_chunk(&chunk)? {
                     if s.t >= start && s.t < end {
                         samples.push(s);

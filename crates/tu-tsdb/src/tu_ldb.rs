@@ -116,10 +116,8 @@ impl TuLdb {
                 last_ts,
                 chunk,
             } => {
-                self.max_chunk_span.fetch_max(
-                    last_ts - first_ts,
-                    std::sync::atomic::Ordering::Relaxed,
-                );
+                self.max_chunk_span
+                    .fetch_max(last_ts - first_ts, std::sync::atomic::Ordering::Relaxed);
                 if self.tree.put(id, first_ts, chunk) {
                     self.tree.flush_memtables()?;
                 }
@@ -137,8 +135,7 @@ impl TuLdb {
 
     /// Seals every head and compacts to quiescence.
     pub fn flush_all(&self) -> Result<()> {
-        let objs: Vec<Arc<Mutex<SeriesObject>>> =
-            self.series.read().values().cloned().collect();
+        let objs: Vec<Arc<Mutex<SeriesObject>>> = self.series.read().values().cloned().collect();
         for obj in objs {
             let mut o = obj.lock();
             if let Some((first, last, chunk)) = o.seal(&self.arena)? {
@@ -175,7 +172,10 @@ impl TuLdb {
                 .max_chunk_span
                 .load(std::sync::atomic::Ordering::Relaxed)
                 + 1;
-            for (_, chunk) in self.tree.range_chunks(id, start.saturating_sub(slack), end)? {
+            for (_, chunk) in self
+                .tree
+                .range_chunks(id, start.saturating_sub(slack), end)?
+            {
                 for s in gorilla::decompress_chunk(&chunk)? {
                     if s.t >= start && s.t < end {
                         samples.push(s);
@@ -278,9 +278,7 @@ mod tests {
         let id = t.put(&labels(&[("m", "x")]), 100_000, 1.0).unwrap();
         t.put_by_id(id, 50_000, 0.5).unwrap();
         t.flush_all().unwrap();
-        let res = t
-            .query(&[Selector::exact("m", "x")], 0, 200_000)
-            .unwrap();
+        let res = t.query(&[Selector::exact("m", "x")], 0, 200_000).unwrap();
         let ts: Vec<i64> = res[0].1.iter().map(|s| s.t).collect();
         assert_eq!(ts, vec![50_000, 100_000]);
     }

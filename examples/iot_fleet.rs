@@ -45,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("region", format!("region-{}", device % 3)),
             ("device", format!("dev-{device:03}")),
         ]);
-        let values: Vec<f64> = (0..CHANNELS.len())
-            .map(|c| reading(device, c, 0))
-            .collect();
+        let values: Vec<f64> = (0..CHANNELS.len()).map(|c| reading(device, c, 0)).collect();
         let (gid, refs) = db.put_group(&group_tags, &member_tags, 0, &values)?;
         fleets.push((gid, refs));
     }
@@ -64,9 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 backfill.push((device, t));
                 continue;
             }
-            let values: Vec<f64> = (0..CHANNELS.len())
-                .map(|c| reading(device, c, t))
-                .collect();
+            let values: Vec<f64> = (0..CHANNELS.len()).map(|c| reading(device, c, t)).collect();
             db.put_group_fast(*gid, refs, t, &values)?;
         }
     }

@@ -63,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // threshold, triggering a merge that splits the table (Figure 11).
     for round in 0..3 {
         for minute in 0..10 {
-            db.put_by_id(
-                ids[5],
-                2 * HOUR + minute * MINUTE + 2 + round,
-                round as f64,
-            )?;
+            db.put_by_id(ids[5], 2 * HOUR + minute * MINUTE + 2 + round, round as f64)?;
         }
         db.flush_all()?;
     }
@@ -76,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "after backfill #2..4: {} patches created, {} patch merges",
         merged.patches_created, merged.patch_merges
     );
-    assert!(merged.patch_merges > 0, "patch threshold must trigger merges");
+    assert!(
+        merged.patch_merges > 0,
+        "patch threshold must trigger merges"
+    );
 
     // The corrected window reads as a consistent timeline.
     let res = db.query(

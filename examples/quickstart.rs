@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let (gid, refs) = db.put_group(&host_tags, &members, 1_000, &[512.0, 1536.0])?;
     for i in 2..=60 {
-        db.put_group_fast(gid, &refs, i * 1_000, &[512.0 + i as f64, 1536.0 - i as f64])?;
+        db.put_group_fast(
+            gid,
+            &refs,
+            i * 1_000,
+            &[512.0 + i as f64, 1536.0 - i as f64],
+        )?;
     }
 
     // --- queries -----------------------------------------------------------------
@@ -64,5 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.group_count(),
         db.memory_stats()
     );
+
+    // Every layer records counters and latency spans into a process-wide
+    // registry (docs/OBSERVABILITY.md); dump what this run did.
+    println!("\n-------------------- metrics --------------------");
+    print!("{}", timeunion::obs::global().snapshot());
     Ok(())
 }

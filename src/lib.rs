@@ -94,3 +94,12 @@ pub mod tsbs {
     pub use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
     pub use tu_tsbs::queries::QueryPattern;
 }
+
+/// Observability: process-wide counters, gauges, latency histograms, and
+/// RAII spans recorded by every crate above (see `docs/OBSERVABILITY.md`).
+pub mod obs {
+    pub use tu_obs::{
+        counter, gauge, global, histogram, span, span_of, Counter, Gauge, Histogram,
+        HistogramSnapshot, MetricsSnapshot, Registry, SpanTimer,
+    };
+}

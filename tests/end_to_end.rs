@@ -41,8 +41,12 @@ fn ingest_series(db: &TimeUnion, gen: &DevOpsGenerator) -> Vec<Vec<u64>> {
     for host in 0..gen.options().hosts {
         let row: Vec<u64> = (0..gen.metric_names().len())
             .map(|m| {
-                db.put(&gen.series_labels(host, m), gen.ts_of(0), gen.value(host, m, 0))
-                    .unwrap()
+                db.put(
+                    &gen.series_labels(host, m),
+                    gen.ts_of(0),
+                    gen.value(host, m, 0),
+                )
+                .unwrap()
             })
             .collect();
         ids.push(row);
@@ -67,7 +71,10 @@ fn tsbs_patterns_match_ground_truth() {
     db.flush_all().unwrap(); // exercise L0 -> L1 -> L2 before querying
 
     let stats = db.tree_stats();
-    assert!(stats.l2_partitions > 0, "data must reach the slow tier: {stats:?}");
+    assert!(
+        stats.l2_partitions > 0,
+        "data must reach the slow tier: {stats:?}"
+    );
 
     for pattern in QueryPattern::all() {
         let spec = pattern.spec(&gen, 4);
@@ -100,7 +107,8 @@ fn tsbs_patterns_match_ground_truth() {
                 .filter(|s| s.t >= spec.start && s.t < spec.end)
                 .collect();
             assert_eq!(
-                series.samples, expected,
+                series.samples,
+                expected,
                 "{}: samples of {}",
                 pattern.name(),
                 series.labels
@@ -152,7 +160,9 @@ fn grouped_ingest_equals_individual_ingest() {
     for pattern in QueryPattern::table2() {
         let spec = pattern.spec(&gen, 1);
         let a = flat.query(&spec.selectors, spec.start, spec.end).unwrap();
-        let b = grouped.query(&spec.selectors, spec.start, spec.end).unwrap();
+        let b = grouped
+            .query(&spec.selectors, spec.start, spec.end)
+            .unwrap();
         assert_eq!(a.len(), b.len(), "{}", pattern.name());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.labels, y.labels, "{}", pattern.name());
@@ -170,8 +180,7 @@ fn out_of_order_volumes_remain_correct() {
     db.flush_all().unwrap();
 
     // Inject p10 late data and verify both the late and on-time points.
-    let late: Vec<tu_tsbs::ooo::LateSample> =
-        tu_tsbs::ooo::late_samples(&gen, 0.10, 99).collect();
+    let late: Vec<tu_tsbs::ooo::LateSample> = tu_tsbs::ooo::late_samples(&gen, 0.10, 99).collect();
     for s in &late {
         db.put_by_id(ids[s.host][s.metric], s.t, s.v).unwrap();
     }
@@ -186,14 +195,8 @@ fn out_of_order_volumes_remain_correct() {
     // Spot-check several late samples are queryable with their values.
     for s in late.iter().step_by(37) {
         let sel = vec![
-            timeunion::engine::Selector::exact(
-                "hostname",
-                format!("host_{}", s.host),
-            ),
-            timeunion::engine::Selector::exact(
-                "metric",
-                gen.metric_names()[s.metric].clone(),
-            ),
+            timeunion::engine::Selector::exact("hostname", format!("host_{}", s.host)),
+            timeunion::engine::Selector::exact("metric", gen.metric_names()[s.metric].clone()),
         ];
         let res = db.query(&sel, s.t, s.t + 1).unwrap();
         assert_eq!(res.len(), 1, "late sample at {} missing", s.t);

@@ -1,0 +1,183 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! Provides the macro / builder surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`black_box`] — and prints a
+//! mean ns/iter per benchmark. No warm-up statistics, outlier analysis,
+//! plots, or baselines: just enough to run `cargo bench` offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration processes (used to print rates).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Per-iteration batching hint (ignored; present for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Total measured time and iteration count of the final sample.
+    elapsed: Duration,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly until the sampling target is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET {
+                self.elapsed = elapsed;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < TARGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = measured;
+        self.iters = iters;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no measurement)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => {
+            let mibs = bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            format!("  {mibs:>10.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / (ns / 1e9);
+            format!("  {eps:>10.0} elem/s")
+        }
+    });
+    println!("{name:<40} {ns:>12.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= TARGET);
+    }
+}

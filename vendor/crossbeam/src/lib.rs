@@ -1,0 +1,36 @@
+//! Offline stub of `crossbeam` providing the bounded-channel subset this
+//! workspace uses, backed by [`std::sync::mpsc::sync_channel`].
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_send_recv_timeout() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            channel::RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            channel::RecvTimeoutError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stub of `tempfile` providing [`tempdir`] / [`TempDir`].
+//!
+//! Directories are created under [`std::env::temp_dir`] with a
+//! process-unique plus counter-unique suffix and removed recursively on
+//! drop (errors during cleanup are ignored, as in the real crate).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+/// Creates a fresh temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    loop {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tu-tmp-{}-{n}", std::process::id()));
+        match std::fs::create_dir_all(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_exists_then_cleans_up() {
+        let d = tempdir().unwrap();
+        let p = d.path().to_path_buf();
+        std::fs::write(p.join("f"), b"x").unwrap();
+        assert!(p.is_dir());
+        drop(d);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
