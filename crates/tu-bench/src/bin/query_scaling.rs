@@ -1,0 +1,226 @@
+//! Query-scaling benchmark: the same TSBS DevOps query batch at 1/2/4/8
+//! query threads, reported as `BENCH_query_scaling.json`.
+//!
+//! ```text
+//! cargo run -p tu-bench --release --bin query_scaling [-- --quick] [--out PATH]
+//! ```
+//!
+//! Ingest runs under [`LatencyMode::Virtual`] (sleeping through a million
+//! WAL appends measures nothing), then the engine is reopened under
+//! [`LatencyMode::Sleep`] so every modelled storage latency is a *real*
+//! scaled sleep. That is the regime where query fan-out pays off the way
+//! it does on actual cloud storage: parallel workers overlap their S3/EBS
+//! waits, which no single-core CPU parallelism could fake. Each measured
+//! batch runs with warm object state and table metadata but cold data
+//! blocks, so every run pays the identical per-block Get traffic of
+//! Equations 3-6 — minus what coalesced readahead saves, which the report
+//! also records.
+
+use std::time::Instant;
+
+use tu_cloud::cost::LatencyMode;
+use tu_common::Result;
+use tu_core::engine::{Options, TimeUnion};
+use tu_index::Selector;
+use tu_lsm::TreeOptions;
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+
+/// Real-sleep scale factor: an S3 Get (20 ms modelled) sleeps 1 ms, an EBS
+/// read (100 µs) sleeps 5 µs. Large enough to dominate per-series CPU
+/// work, small enough to keep the bench under a minute.
+const SLEEP_SCALE: f64 = 0.05;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    threads: usize,
+    wall_ms: f64,
+    qps: f64,
+    series: usize,
+    samples: usize,
+    object_gets: u64,
+    coalesced_requests: u64,
+    coalesced_blocks: u64,
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("query_scaling failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_query_scaling.json")
+        .to_string();
+
+    let hosts = 8usize;
+    let hours: i64 = if quick { 1 } else { 4 };
+    let interval_s: i64 = 10;
+    let duration_ms = hours * 3_600_000;
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts,
+        interval_ms: interval_s * 1000,
+        duration_ms,
+        ..DevOpsOptions::default()
+    });
+
+    // One L2 partition spanning the whole run keeps each series' chunks in
+    // one long adjacent key run per table — the shape readahead exists for.
+    let tree = TreeOptions {
+        memtable_bytes: 1 << 20,
+        max_sstable_bytes: 1 << 20,
+        l0_partition_ms: duration_ms / 4,
+        l2_partition_ms: duration_ms,
+        ..TreeOptions::default()
+    };
+    let opts_with = |latency: LatencyMode| Options {
+        chunk_samples: 32,
+        index_slots_per_segment: 1 << 16,
+        tree: tree.clone(),
+        latency,
+        ..Options::default()
+    };
+
+    let dir = tempfile::tempdir()?;
+    let tu_dir = dir.path().join("tu");
+
+    // Phase 1: ingest + flush under virtual latency, then close.
+    eprintln!(
+        "ingesting {} samples ({hosts} hosts x {} metrics x {} steps)...",
+        gen.total_samples(),
+        gen.metric_names().len(),
+        gen.steps()
+    );
+    let t0 = Instant::now();
+    {
+        let db = TimeUnion::open(&tu_dir, opts_with(LatencyMode::Virtual))?;
+        let mut ids: Vec<Vec<u64>> = Vec::new();
+        for host in 0..hosts {
+            let mut row = Vec::with_capacity(gen.metric_names().len());
+            for metric in 0..gen.metric_names().len() {
+                row.push(db.put(
+                    &gen.series_labels(host, metric),
+                    gen.ts_of(0),
+                    gen.value(host, metric, 0),
+                )?);
+            }
+            ids.push(row);
+        }
+        for step in 1..gen.steps() {
+            let t = gen.ts_of(step);
+            for (host, row) in ids.iter().enumerate() {
+                for (metric, id) in row.iter().enumerate() {
+                    db.put_by_id(*id, t, gen.value(host, metric, step))?;
+                }
+            }
+        }
+        db.flush_all()?;
+        db.sync()?;
+    }
+    eprintln!("ingest done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // Phase 2: reopen with scaled real-sleep latencies and sweep threads.
+    let db = TimeUnion::open(&tu_dir, opts_with(LatencyMode::Sleep(SLEEP_SCALE)))?;
+    let queries: Vec<Vec<Selector>> = (0..hosts)
+        .map(|h| vec![Selector::exact("hostname", format!("host_{h}"))])
+        .collect();
+    // Warm-up: loads table metadata and absorbs every first-read (cold
+    // object) penalty once, so each measured run sees identical storage.
+    for sel in &queries {
+        db.query(sel, 0, gen.end_ms())?;
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        db.set_query_threads(threads);
+        db.clear_block_cache();
+        let gets0 = db.storage().object.stats().get_requests;
+        let ra_req0 = tu_obs::counter("lsm.readahead.coalesced_requests").get();
+        let ra_blk0 = tu_obs::counter("lsm.readahead.coalesced_blocks").get();
+        let t = Instant::now();
+        let mut series = 0usize;
+        let mut samples = 0usize;
+        for sel in &queries {
+            let r = db.query(sel, 0, gen.end_ms())?;
+            series += r.len();
+            samples += r.iter().map(|s| s.samples.len()).sum::<usize>();
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        runs.push(Run {
+            threads,
+            wall_ms,
+            qps: queries.len() as f64 / (wall_ms / 1e3),
+            series,
+            samples,
+            object_gets: db.storage().object.stats().get_requests - gets0,
+            coalesced_requests: tu_obs::counter("lsm.readahead.coalesced_requests").get() - ra_req0,
+            coalesced_blocks: tu_obs::counter("lsm.readahead.coalesced_blocks").get() - ra_blk0,
+        });
+        eprintln!(
+            "threads={threads}: {wall_ms:.0}ms for {} queries ({series} series, {samples} samples)",
+            queries.len()
+        );
+    }
+
+    // Every run must return the same data regardless of thread count.
+    for r in &runs[1..] {
+        assert_eq!(
+            (r.series, r.samples),
+            (runs[0].series, runs[0].samples),
+            "thread count changed query results"
+        );
+    }
+
+    let base_ms = runs[0].wall_ms;
+    let shards = tu_obs::gauge("cache.shard.count").get();
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"query_scaling\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"hosts\": {hosts}, \"metrics_per_host\": {}, \"interval_s\": {interval_s}, \"hours\": {hours}, \"total_samples\": {}}},\n",
+        gen.metric_names().len(),
+        gen.total_samples()
+    ));
+    json.push_str(&format!(
+        "  \"latency\": {{\"mode\": \"sleep\", \"scale\": {SLEEP_SCALE}}},\n"
+    ));
+    json.push_str(&format!("  \"cache_shards\": {shards},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_ms\": {:.1}, \"qps\": {:.2}, \"speedup\": {:.2}, \"queries\": {}, \"series\": {}, \"samples\": {}, \"object_get_requests\": {}, \"readahead_coalesced_requests\": {}, \"readahead_coalesced_blocks\": {}}}{}\n",
+            r.threads,
+            r.wall_ms,
+            r.qps,
+            base_ms / r.wall_ms,
+            queries.len(),
+            r.series,
+            r.samples,
+            r.object_gets,
+            r.coalesced_requests,
+            r.coalesced_blocks,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json)?;
+
+    println!("{json}");
+    let last = runs.last().expect("sweep is non-empty");
+    println!(
+        "speedup at {} threads: {:.2}x; coalesced readahead requests/batch: {} (for {} blocks)",
+        last.threads,
+        base_ms / last.wall_ms,
+        last.coalesced_requests,
+        last.coalesced_blocks
+    );
+    println!("report written to {out_path}");
+    Ok(())
+}

@@ -177,6 +177,37 @@ impl BlockStore {
         Ok(buf)
     }
 
+    /// Reads several `(offset, len)` ranges with a single billable request:
+    /// the covering span is fetched once and sliced per range. The SSTable
+    /// readahead path uses this to turn a run of adjacent block fetches
+    /// into one Get. Ranges past end-of-file yield their available prefix;
+    /// an empty range list issues no request at all.
+    pub fn read_multi_range(&self, name: &str, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        let Some(span_start) = ranges.iter().map(|&(o, _)| o).min() else {
+            return Ok(Vec::new());
+        };
+        let span_end = ranges
+            .iter()
+            .map(|&(o, l)| o + l as u64)
+            .max()
+            .unwrap_or(span_start);
+        let mut f = File::open(self.path_of(name)).map_err(|e| self.map_nf(e, name))?;
+        f.seek(SeekFrom::Start(span_start))?;
+        let want = (span_end - span_start) as usize;
+        let mut buf = vec![0u8; want];
+        let mut filled = 0;
+        while filled < want {
+            let n = f.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        self.charge_read(name, filled as u64);
+        Ok(slice_ranges(&buf, span_start, ranges))
+    }
+
     fn charge_read(&self, name: &str, len: u64) {
         let first = {
             let mut state = self.state.lock();
@@ -260,6 +291,23 @@ impl BlockStore {
     }
 }
 
+/// Cuts each requested `(offset, len)` range out of a covering-span buffer
+/// that starts at absolute offset `span_start`. Shared by the multi-range
+/// readers of both tiers.
+pub(crate) fn slice_ranges(buf: &[u8], span_start: u64, ranges: &[(u64, usize)]) -> Vec<Vec<u8>> {
+    ranges
+        .iter()
+        .map(|&(o, l)| {
+            let rel = (o - span_start) as usize;
+            if rel >= buf.len() {
+                Vec::new()
+            } else {
+                buf[rel..(rel + l).min(buf.len())].to_vec()
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +341,26 @@ mod tests {
         assert_eq!(s.read_range("f", 2, 3).unwrap(), b"234");
         assert_eq!(s.read_range("f", 8, 10).unwrap(), b"89");
         assert_eq!(s.read_range("f", 20, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn multi_range_read_bills_one_request() {
+        let (_d, s) = store();
+        s.write_file("f", b"0123456789abcdef").unwrap();
+        let before = s.stats();
+        let parts = s.read_multi_range("f", &[(0, 4), (4, 4), (8, 4)]).unwrap();
+        assert_eq!(
+            parts,
+            vec![b"0123".to_vec(), b"4567".to_vec(), b"89ab".to_vec()]
+        );
+        let d = s.stats().since(&before);
+        assert_eq!(d.get_requests, 1, "coalesced ranges share one request");
+        assert_eq!(d.bytes_read, 12);
+        // Past-EOF ranges degrade to their available prefix, empty input is free.
+        let tail = s.read_multi_range("f", &[(14, 8), (30, 4)]).unwrap();
+        assert_eq!(tail, vec![b"ef".to_vec(), Vec::new()]);
+        assert!(s.read_multi_range("f", &[]).unwrap().is_empty());
+        assert_eq!(s.stats().since(&before).get_requests, 2);
     }
 
     #[test]

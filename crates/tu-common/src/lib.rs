@@ -10,6 +10,7 @@ pub mod alloc;
 pub mod clock;
 pub mod error;
 pub mod keys;
+pub mod pool;
 pub mod types;
 pub mod varint;
 

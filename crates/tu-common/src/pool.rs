@@ -1,0 +1,162 @@
+//! A small scoped worker pool for fan-out/fan-in parallelism.
+//!
+//! Queries fan out across matched series (§3.4 runs one merge per matched
+//! timeseries; the per-series work — block fetches, decompression, sample
+//! merging — is independent), so the engine needs a way to run `n`
+//! index-addressed tasks on `t` threads and collect the results *in task
+//! order*. [`WorkerPool::run`] does exactly that on [`std::thread::scope`]:
+//! no queues, no detached threads, no dependencies, and borrowing the
+//! caller's state works because the threads cannot outlive the call.
+//!
+//! Determinism: results are returned indexed by task, so the output of
+//! `run` is identical for every thread count (including 1, which runs
+//! inline without spawning). Panics in a task propagate to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the query thread count
+/// (`TU_QUERY_THREADS=1` forces sequential execution; CI runs the test
+/// suite at both 1 and 8).
+pub const QUERY_THREADS_ENV: &str = "TU_QUERY_THREADS";
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool is a plain value (just a thread count): threads are scoped to
+/// each [`WorkerPool::run`] call, so there is no lifecycle to manage and a
+/// pool can be constructed per call for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of exactly `threads` workers (0 is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolves the thread count from, in priority order: the
+    /// `TU_QUERY_THREADS` environment variable, the caller's configured
+    /// value (`configured > 0`), and finally the machine's available
+    /// parallelism (capped at 8 — query fan-out saturates well before the
+    /// core counts of large hosts).
+    pub fn resolve(configured: usize) -> Self {
+        if let Some(n) = env_threads() {
+            return WorkerPool::new(n);
+        }
+        if configured > 0 {
+            return WorkerPool::new(configured);
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkerPool::new(cores.min(8))
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), ..., f(n-1)` across the pool and returns the
+    /// results in task order. With one thread (or one task) everything
+    /// runs inline on the caller's thread. Tasks are claimed from a shared
+    /// cursor, so an expensive task does not hold up the rest of the pool.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task index is claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+/// Parses `TU_QUERY_THREADS` if set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var(QUERY_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.run(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_threads_are_fine() {
+        assert!(WorkerPool::new(0).run(0, |i| i).is_empty());
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert_eq!(WorkerPool::new(4).run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let pool = WorkerPool::new(8);
+        let out = pool.run(1000, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let data: Vec<u64> = (0..100).collect();
+        let sum: u64 = WorkerPool::new(4)
+            .run(data.len(), |i| data[i] * 2)
+            .iter()
+            .sum();
+        assert_eq!(sum, 2 * (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn task_panics_propagate() {
+        WorkerPool::new(2).run(8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

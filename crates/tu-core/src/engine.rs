@@ -59,6 +59,11 @@ pub struct Options {
     pub inline_maintenance: bool,
     /// Clock used for retention decisions.
     pub clock: SharedClock,
+    /// Worker threads for query fan-out across matched series. `0` resolves
+    /// automatically (the `TU_QUERY_THREADS` environment variable if set,
+    /// else available parallelism capped at 8). Results are identical for
+    /// every thread count; see [`TimeUnion::set_query_threads`].
+    pub query_threads: usize,
 }
 
 impl Default for Options {
@@ -77,6 +82,7 @@ impl Default for Options {
             object_model: tu_cloud::cost::LatencyModel::s3(),
             inline_maintenance: true,
             clock: system_clock(),
+            query_threads: 0,
         }
     }
 }
@@ -138,6 +144,9 @@ pub struct TimeUnion {
     wal_unflushed: AtomicU64,
     replaying: std::sync::atomic::AtomicBool,
     worker: Mutex<Option<Worker>>,
+    /// Resolved query fan-out width; runtime-adjustable so benchmarks can
+    /// sweep thread counts against one engine instance.
+    query_threads: std::sync::atomic::AtomicUsize,
     obs: EngineObs,
 }
 
@@ -146,6 +155,8 @@ pub struct TimeUnion {
 struct EngineObs {
     ingest_samples: &'static tu_obs::Counter,
     queries: &'static tu_obs::Counter,
+    parallel_queries: &'static tu_obs::Counter,
+    parallel_tasks: &'static tu_obs::Counter,
 }
 
 impl EngineObs {
@@ -153,6 +164,8 @@ impl EngineObs {
         EngineObs {
             ingest_samples: tu_obs::counter("core.ingest.samples"),
             queries: tu_obs::counter("core.query.requests"),
+            parallel_queries: tu_obs::counter("core.query.parallel.queries"),
+            parallel_tasks: tu_obs::counter("core.query.parallel.tasks"),
         }
     }
 }
@@ -226,9 +239,14 @@ impl TimeUnion {
             wal_unflushed: AtomicU64::new(0),
             replaying: std::sync::atomic::AtomicBool::new(false),
             worker: Mutex::new(None),
+            query_threads: std::sync::atomic::AtomicUsize::new(
+                tu_common::pool::WorkerPool::resolve(opts.query_threads).threads(),
+            ),
             obs: EngineObs::resolve(),
             opts,
         };
+        tu_obs::gauge("core.query.parallel.threads")
+            .set(engine.query_threads.load(Ordering::Relaxed) as i64);
         engine.recover()?;
         Ok(engine)
     }
@@ -834,6 +852,11 @@ impl TimeUnion {
 
     /// Get (§3.4): selects series and groups by tag selectors and returns
     /// each matched timeseries' samples in `[start, end)`.
+    ///
+    /// Matched ids are processed on the engine's query pool (see
+    /// [`TimeUnion::set_query_threads`]); per-id work is independent, and
+    /// the final sort by label bytes — an injective key — fixes the output
+    /// order, so results are identical for every thread count.
     pub fn query(
         &self,
         selectors: &[Selector],
@@ -843,16 +866,38 @@ impl TimeUnion {
         self.obs.queries.inc();
         let _span = tu_obs::span("core.query");
         let ids = self.index.select(selectors)?;
-        let mut out: QueryResult = Vec::new();
-        for id in ids {
-            if is_group_id(id) {
-                self.query_group(id, selectors, start, end, &mut out)?;
-            } else {
-                self.query_series(id, start, end, &mut out)?;
-            }
+        let pool = tu_common::pool::WorkerPool::new(self.query_threads.load(Ordering::Relaxed));
+        if pool.threads() > 1 && ids.len() > 1 {
+            self.obs.parallel_queries.inc();
+            self.obs.parallel_tasks.add(ids.len() as u64);
         }
-        out.sort_by(|a, b| a.labels.to_bytes().cmp(&b.labels.to_bytes()));
+        let per_id = pool.run(ids.len(), |i| {
+            let id = ids[i];
+            if is_group_id(id) {
+                self.query_group(id, selectors, start, end)
+            } else {
+                self.query_series(id, start, end)
+            }
+        });
+        let mut out: QueryResult = Vec::new();
+        for r in per_id {
+            out.extend(r?);
+        }
+        out.sort_by_cached_key(|s| s.labels.to_bytes());
         Ok(out)
+    }
+
+    /// Sets the query fan-out width (clamped to at least 1). Takes effect
+    /// on the next `query` call; thread count never changes results.
+    pub fn set_query_threads(&self, threads: usize) {
+        let n = threads.max(1);
+        self.query_threads.store(n, Ordering::Relaxed);
+        tu_obs::gauge("core.query.parallel.threads").set(n as i64);
+    }
+
+    /// The current query fan-out width.
+    pub fn query_threads(&self) -> usize {
+        self.query_threads.load(Ordering::Relaxed)
     }
 
     fn query_slack(&self) -> i64 {
@@ -864,10 +909,9 @@ impl TimeUnion {
         id: SeriesId,
         start: Timestamp,
         end: Timestamp,
-        out: &mut QueryResult,
-    ) -> Result<()> {
+    ) -> Result<Vec<SeriesResult>> {
         let Some(obj) = self.series.read().get(&id).cloned() else {
-            return Ok(()); // purged between index lookup and here
+            return Ok(Vec::new()); // purged between index lookup and here
         };
         let mut merger = SampleMerger::new(start, end);
         let from = start.saturating_sub(self.query_slack());
@@ -878,14 +922,14 @@ impl TimeUnion {
         merger.offer_all(o.head_samples(&self.series_arena)?);
         let labels = o.labels.clone();
         drop(o);
-        if !merger.is_empty() {
-            out.push(SeriesResult {
-                id,
-                labels,
-                samples: merger.finish(),
-            });
+        if merger.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(())
+        Ok(vec![SeriesResult {
+            id,
+            labels,
+            samples: merger.finish(),
+        }])
     }
 
     fn query_group(
@@ -894,10 +938,10 @@ impl TimeUnion {
         selectors: &[Selector],
         start: Timestamp,
         end: Timestamp,
-        out: &mut QueryResult,
-    ) -> Result<()> {
+    ) -> Result<Vec<SeriesResult>> {
+        let mut out = Vec::new();
         let Some(obj) = self.groups.read().get(&gid).cloned() else {
-            return Ok(());
+            return Ok(out);
         };
         // Second-level index: which members match every selector?
         let (matched, group_tags): (Vec<(SeriesRef, Labels)>, Labels) = {
@@ -916,7 +960,7 @@ impl TimeUnion {
         };
         let _ = group_tags;
         if matched.is_empty() {
-            return Ok(());
+            return Ok(out);
         }
         let from = start.saturating_sub(self.query_slack());
         let chunks = self.tree.range_chunks(gid, from, end)?;
@@ -957,7 +1001,7 @@ impl TimeUnion {
                 });
             }
         }
-        Ok(())
+        Ok(out)
     }
 
     /// All values recorded for a tag key (label-values API).

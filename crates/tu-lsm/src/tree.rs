@@ -65,6 +65,9 @@ pub struct TreeOptions {
     pub max_sstable_bytes: usize,
     /// Block-cache budget (paper: 1 GiB).
     pub block_cache_bytes: usize,
+    /// Max adjacent uncached SSTable blocks one coalesced readahead request
+    /// may fetch during range scans (`<= 1` disables coalescing).
+    pub readahead_blocks: usize,
 }
 
 impl Default for TreeOptions {
@@ -80,6 +83,7 @@ impl Default for TreeOptions {
             partition_max_ms: 8 * 60 * 60 * 1000,
             max_sstable_bytes: 2 << 20,
             block_cache_bytes: 64 << 20,
+            readahead_blocks: crate::sstable::DEFAULT_READAHEAD_BLOCKS,
         }
     }
 }
@@ -357,7 +361,9 @@ impl TimeTree {
         } else {
             TableSource::Block(self.env.block.clone(), meta.name.clone())
         };
-        let table = Arc::new(Table::open(source, Some(self.cache.clone()))?);
+        let mut opened = Table::open(source, Some(self.cache.clone()))?;
+        opened.set_readahead(self.opts.readahead_blocks);
+        let table = Arc::new(opened);
         self.tables.lock().insert(meta.name.clone(), table.clone());
         Ok(table)
     }

@@ -448,7 +448,7 @@ impl Tsdb {
             })
             .filter(|(_, samples)| !samples.is_empty())
             .collect();
-        out.sort_by(|a, b| a.0.to_bytes().cmp(&b.0.to_bytes()));
+        out.sort_by_cached_key(|r| r.0.to_bytes());
         Ok(out)
     }
 

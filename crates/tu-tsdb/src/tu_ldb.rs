@@ -196,7 +196,7 @@ impl TuLdb {
                 out.push((labels, samples));
             }
         }
-        out.sort_by(|a, b| a.0.to_bytes().cmp(&b.0.to_bytes()));
+        out.sort_by_cached_key(|r| r.0.to_bytes());
         Ok(out)
     }
 

@@ -1,0 +1,109 @@
+//! Parallel query determinism: for any thread count, `TimeUnion::query`
+//! must return exactly the same `QueryResult` — same series, same order,
+//! same samples — as the sequential path. The workload is randomized but
+//! seeded: individual series, grouped series, out-of-order samples, and a
+//! mid-stream flush so results span SSTables, patches, and head chunks.
+
+use rand::{Rng, SeedableRng};
+use timeunion::engine::{Options, Selector, TimeUnion};
+use timeunion::lsm::TreeOptions;
+use timeunion::model::Labels;
+use tu_cloud::cost::LatencyMode;
+
+const MIN: i64 = 60_000;
+
+fn opts() -> Options {
+    Options {
+        chunk_samples: 8,
+        latency: LatencyMode::Virtual,
+        tree: TreeOptions {
+            memtable_bytes: 16 << 10,
+            max_sstable_bytes: 16 << 10,
+            ..TreeOptions::default()
+        },
+        ..Options::default()
+    }
+}
+
+#[test]
+fn parallel_query_matches_sequential_exactly() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = TimeUnion::open(dir.path(), opts()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15EA5E);
+
+    // 24 individual series over 4 metrics.
+    let mut ids = Vec::new();
+    for s in 0..24 {
+        let labels = Labels::from_pairs([
+            ("metric", format!("m{}", s % 4).as_str()),
+            ("host", format!("h{s}").as_str()),
+        ]);
+        ids.push(db.put(&labels, 0, s as f64).unwrap());
+    }
+    // 3 groups of 5 members each.
+    let mut groups = Vec::new();
+    for g in 0..3 {
+        let gtags = Labels::from_pairs([("job", "node"), ("instance", format!("i{g}").as_str())]);
+        let members: Vec<Labels> = (0..5)
+            .map(|m| Labels::from_pairs([("cpu", format!("c{m}").as_str())]))
+            .collect();
+        let values: Vec<f64> = (0..5).map(|m| m as f64).collect();
+        let (gid, refs) = db.put_group(&gtags, &members, 0, &values).unwrap();
+        groups.push((gid, refs));
+    }
+
+    let ingest = |db: &TimeUnion, rng: &mut rand::rngs::StdRng, rounds: usize| {
+        for _ in 0..rounds {
+            // Mostly in-order timestamps with a deliberate out-of-order tail.
+            let base: i64 = rng.gen_range(1..600i64) * MIN;
+            for &id in &ids {
+                let jitter: i64 = rng.gen_range(-5 * MIN..5 * MIN);
+                db.put_by_id(id, (base + jitter).max(1), rng.gen_range(0.0..100.0))
+                    .unwrap();
+            }
+            for (gid, refs) in &groups {
+                let values: Vec<f64> = refs.iter().map(|_| rng.gen_range(0.0..1.0)).collect();
+                db.put_group_fast(*gid, refs, base, &values).unwrap();
+            }
+        }
+    };
+
+    ingest(&db, &mut rng, 40);
+    db.flush_all().unwrap(); // everything so far lives in SSTables
+    ingest(&db, &mut rng, 20); // plus fresh head-chunk samples on top
+
+    let cases: Vec<(Vec<Selector>, i64, i64)> = vec![
+        (vec![Selector::exact("metric", "m0")], 0, 600 * MIN),
+        (vec![Selector::exact("metric", "m1")], 50 * MIN, 300 * MIN),
+        (vec![Selector::exact("host", "h7")], 0, i64::MAX / 2),
+        (vec![Selector::exact("job", "node")], 0, 600 * MIN),
+        (
+            vec![Selector::exact("job", "node"), Selector::exact("cpu", "c2")],
+            10 * MIN,
+            400 * MIN,
+        ),
+        (vec![], 0, 600 * MIN),
+    ];
+
+    db.set_query_threads(1);
+    let baseline: Vec<_> = cases
+        .iter()
+        .map(|(sel, start, end)| db.query(sel, *start, *end).unwrap())
+        .collect();
+    assert!(
+        baseline.iter().any(|r| r.len() > 1),
+        "workload must produce multi-series results"
+    );
+
+    for threads in [2, 8] {
+        db.set_query_threads(threads);
+        assert_eq!(db.query_threads(), threads);
+        for ((sel, start, end), expect) in cases.iter().zip(&baseline) {
+            let got = db.query(sel, *start, *end).unwrap();
+            assert_eq!(
+                &got, expect,
+                "thread count {threads} changed the result of {sel:?}"
+            );
+        }
+    }
+}
