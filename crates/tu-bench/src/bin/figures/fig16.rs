@@ -1,5 +1,10 @@
 //! Figure 16: memory usage monitoring — average memory per engine across
-//! series counts (16a) and a memory timeline over one run (16b).
+//! series counts (16a) and a memory timeline over one run (16b), plus a
+//! per-phase storage cost decomposition: each 16b phase (insert quartiles,
+//! flush, query) runs under its own `tu-obs` trace context, so the table
+//! attributes every tier's Get/Put requests and bytes to the phase that
+//! caused them — the per-operation reading of the paper's Eq. 3–6 that
+//! the Figure 16 monetary breakdown is built from.
 
 use crate::Scale;
 use tu_bench::report::Table;
@@ -8,7 +13,23 @@ use tu_bench::{
 };
 use tu_common::alloc::fmt_bytes;
 use tu_common::Result;
+use tu_obs::{TraceContext, TraceSummary};
 use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+
+/// One row of the per-phase cost decomposition: the `cloud.<tier>.*`
+/// charges a phase's trace context collected.
+fn cost_row(phase: &str, s: &TraceSummary) -> Vec<String> {
+    let c = |name: &str| s.counter(name).to_string();
+    vec![
+        phase.to_string(),
+        c("cloud.block.get_requests"),
+        c("cloud.block.put_requests"),
+        fmt_bytes(s.counter("cloud.block.bytes_written") as usize),
+        c("cloud.object.get_requests"),
+        c("cloud.object.put_requests"),
+        fmt_bytes(s.counter("cloud.object.bytes_read") as usize),
+    ]
+}
 
 pub fn run(scale: Scale) -> Result<()> {
     let dir = tempfile::tempdir()?;
@@ -105,7 +126,13 @@ pub fn run(scale: Scale) -> Result<()> {
         );
     }
     let steps = gen.steps();
+    // Each phase runs under its own trace context so its storage charges
+    // (TU's and tsdb's combined — both engines run inside the phase) can
+    // be decomposed per phase below.
+    let mut phases: Vec<(String, TraceSummary)> = Vec::new();
     for q in 0..quarters {
+        let label = format!("insert {}%", (q + 1) * 100 / quarters);
+        let ctx = TraceContext::start(label.clone());
         let lo = 1 + q * (steps - 1) / quarters;
         let hi = 1 + (q + 1) * (steps - 1) / quarters;
         for step in lo..hi {
@@ -118,14 +145,17 @@ pub fn run(scale: Scale) -> Result<()> {
                 }
             }
         }
+        phases.push((label.clone(), ctx.finish()));
         t.row(vec![
-            format!("insert {}%", (q + 1) * 100 / quarters),
+            label,
             fmt_bytes(tsdb.memory_bytes()),
             fmt_bytes(tu.memory_bytes()),
         ]);
     }
+    let ctx = TraceContext::start("flush");
     tsdb.flush()?;
     tu.flush()?;
+    phases.push(("flush".into(), ctx.finish()));
     t.row(vec![
         "after flush".into(),
         fmt_bytes(tsdb.memory_bytes()),
@@ -135,8 +165,19 @@ pub fn run(scale: Scale) -> Result<()> {
         tu_index::Selector::exact("hostname", "host_0"),
         tu_index::Selector::regex("metric", "cpu_.*").unwrap(),
     ];
+    let ctx = TraceContext::start("query");
     tsdb.query(&sel, 0, gen.end_ms())?;
-    tu.query(&sel, 0, gen.end_ms())?;
+    let tu_profile = match &tu {
+        Engine::TimeUnion(e) => {
+            let (_, profile) = e.query_profiled(&sel, 0, gen.end_ms())?;
+            Some(profile)
+        }
+        _ => {
+            tu.query(&sel, 0, gen.end_ms())?;
+            None
+        }
+    };
+    phases.push(("query".into(), ctx.finish()));
     t.row(vec![
         "after query".into(),
         fmt_bytes(tsdb.memory_bytes()),
@@ -144,5 +185,28 @@ pub fn run(scale: Scale) -> Result<()> {
     ]);
     t.print();
     println!("(paper: tsdb climbs throughout insertion; TU stays ~flat because head chunks are file-backed and sealed chunks leave memory)");
+
+    // --- 16b cost decomposition: which phase paid which tier ---------------------
+    let mut t = Table::new(
+        "Figure 16b: per-phase storage cost decomposition (both engines)",
+        &[
+            "phase",
+            "blk gets",
+            "blk puts",
+            "blk written",
+            "obj gets",
+            "obj puts",
+            "obj read",
+        ],
+    );
+    for (label, summary) in &phases {
+        t.row(cost_row(label, summary));
+    }
+    t.print();
+    println!("(Eq. 3-6 denominated per phase: inserts charge the fast tier's log/arena Puts, flush pays object Puts, the query pays object Gets)");
+    if let Some(profile) = tu_profile {
+        println!("\nTU query cost profile (explain analyze):");
+        print!("{profile}");
+    }
     Ok(())
 }

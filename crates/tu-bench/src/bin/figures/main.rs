@@ -17,6 +17,12 @@
 //! byte counters per tier, flush/compaction spans, cache hit rates — see
 //! docs/OBSERVABILITY.md). `--metrics-json` emits it as JSON instead of
 //! the aligned text table.
+//!
+//! Exporters (docs/OBSERVABILITY.md "Tracing & profiles"):
+//! `--prom-out <path>` additionally writes the final snapshot in the
+//! Prometheus text exposition format, and `--trace-out <path>` enables the
+//! flight recorder for the whole run and writes the drained events as a
+//! chrome://tracing `trace_event` JSON array.
 
 mod analysis;
 mod fig1;
@@ -64,22 +70,66 @@ impl Scale {
     }
 }
 
+/// Events the flight recorder buffers when `--trace-out` is given: big
+/// enough that a normal figure run keeps every span, bounded so a long
+/// `all` run degrades to "most recent window" instead of growing.
+const FLIGHT_CAPACITY: usize = 1 << 16;
+
+/// Parses `--flag value` / `--flag=value` flags plus the experiment name.
+struct Args {
+    quick: bool,
+    json: bool,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+    cmd: String,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args {
+        quick: false,
+        json: false,
+        trace_out: None,
+        prom_out: None,
+        cmd: "all".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| -> Option<String> {
+            a.strip_prefix(&format!("{flag}="))
+                .map(|v| v.to_string())
+                .or_else(|| (a.as_str() == flag).then(|| it.next().cloned()).flatten())
+        };
+        if a == "--quick" {
+            out.quick = true;
+        } else if a == "--metrics-json" {
+            out.json = true;
+        } else if let Some(v) = value_of("--trace-out") {
+            out.trace_out = Some(v);
+        } else if let Some(v) = value_of("--prom-out") {
+            out.prom_out = Some(v);
+        } else if !a.starts_with("--") {
+            out.cmd = a.clone();
+        } else {
+            eprintln!("unknown flag: {a}");
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--metrics-json");
-    let scale = if quick {
+    let args = parse_args(&args);
+    let scale = if args.quick {
         Scale::quick()
     } else {
         Scale::normal()
     };
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .unwrap_or("all");
-    if let Err(e) = run(cmd, scale) {
-        eprintln!("experiment {cmd} failed: {e}");
+    if args.trace_out.is_some() {
+        tu_obs::flight().enable(FLIGHT_CAPACITY);
+    }
+    if let Err(e) = run(&args.cmd, scale) {
+        eprintln!("experiment {} failed: {e}", args.cmd);
         std::process::exit(1);
     }
     // Dump everything the instrumented crates recorded during the run:
@@ -87,11 +137,39 @@ fn main() {
     // compaction spans, cache hit rates, engine ingest/query counters. See
     // docs/OBSERVABILITY.md for the metric catalog.
     let snapshot = tu_obs::global().snapshot();
-    if json {
+    if args.json {
         println!("\n{}", snapshot.to_json());
     } else {
         println!("\n-------------------- metrics --------------------");
         print!("{snapshot}");
+    }
+    if let Some(path) = &args.prom_out {
+        let text = tu_obs::prometheus_text(&snapshot);
+        // Round-trip through the format checker before writing, so a bad
+        // exposition fails the run instead of the scrape.
+        if let Err(e) = tu_obs::parse_prometheus_text(&text) {
+            eprintln!("invalid prometheus exposition: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("prometheus snapshot written to {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        let recorder = tu_obs::flight();
+        let dropped = recorder.dropped();
+        let events = recorder.drain();
+        recorder.disable();
+        if let Err(e) = std::fs::write(path, tu_obs::chrome_trace_json(&events)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace written to {path} ({} events, {dropped} dropped)",
+            events.len()
+        );
     }
 }
 

@@ -99,26 +99,29 @@ impl LatencyModel {
 /// isolate one store instance, while the registry aggregates across every
 /// store in the process (in single-store runs the two agree exactly —
 /// `tests/obs_matches_stats.rs` pins that equality).
+///
+/// The counters are [`tu_obs::TracedCounter`]s: every charge also lands on
+/// the active trace context, so a profiled query knows exactly how many
+/// billable Gets and bytes each tier charged it (Eq. 4/6 per operation).
 pub(crate) struct TierCounters {
-    pub gets: &'static tu_obs::Counter,
-    pub puts: &'static tu_obs::Counter,
-    pub deletes: &'static tu_obs::Counter,
-    pub bytes_read: &'static tu_obs::Counter,
-    pub bytes_written: &'static tu_obs::Counter,
-    pub first_reads: &'static tu_obs::Counter,
+    pub gets: tu_obs::TracedCounter,
+    pub puts: tu_obs::TracedCounter,
+    pub deletes: tu_obs::TracedCounter,
+    pub bytes_read: tu_obs::TracedCounter,
+    pub bytes_written: tu_obs::TracedCounter,
+    pub first_reads: tu_obs::TracedCounter,
 }
 
 impl TierCounters {
     /// Resolves the `cloud.<tier>.*` counters from the global registry.
     pub fn for_tier(tier: &str) -> Self {
-        let reg = tu_obs::global();
         TierCounters {
-            gets: reg.counter(&format!("cloud.{tier}.get_requests")),
-            puts: reg.counter(&format!("cloud.{tier}.put_requests")),
-            deletes: reg.counter(&format!("cloud.{tier}.delete_requests")),
-            bytes_read: reg.counter(&format!("cloud.{tier}.bytes_read")),
-            bytes_written: reg.counter(&format!("cloud.{tier}.bytes_written")),
-            first_reads: reg.counter(&format!("cloud.{tier}.first_reads")),
+            gets: tu_obs::traced(&format!("cloud.{tier}.get_requests")),
+            puts: tu_obs::traced(&format!("cloud.{tier}.put_requests")),
+            deletes: tu_obs::traced(&format!("cloud.{tier}.delete_requests")),
+            bytes_read: tu_obs::traced(&format!("cloud.{tier}.bytes_read")),
+            bytes_written: tu_obs::traced(&format!("cloud.{tier}.bytes_written")),
+            first_reads: tu_obs::traced(&format!("cloud.{tier}.first_reads")),
         }
     }
 }

@@ -11,6 +11,12 @@
 //! Determinism: results are returned indexed by task, so the output of
 //! `run` is identical for every thread count (including 1, which runs
 //! inline without spawning). Panics in a task propagate to the caller.
+//!
+//! Cost attribution: the caller's `tu-obs` trace contexts are captured
+//! before spawning and attached inside every worker, so storage charges
+//! made by pool tasks land on the operation that fanned out (the contexts
+//! share one delta map, so the join merge is exact). The inline path needs
+//! nothing — tasks already run under the caller's thread-local contexts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -74,15 +80,19 @@ impl WorkerPool {
         }
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let trace = tu_obs::trace::current_handle();
         std::thread::scope(|s| {
             for _ in 0..self.threads.min(n) {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(|| {
+                    let _attached = trace.as_ref().map(|h| h.attach());
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = f(i);
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
                     }
-                    let out = f(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });
@@ -147,6 +157,24 @@ mod tests {
             .iter()
             .sum();
         assert_eq!(sum, 2 * (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn trace_context_propagates_to_workers() {
+        for threads in [1, 2, 8] {
+            let ctx = tu_obs::TraceContext::start("pool-test");
+            let c = tu_obs::traced("common.pool.test_charges");
+            WorkerPool::new(threads).run(24, |i| {
+                c.add(1 + i as u64 % 2);
+            });
+            let summary = ctx.finish();
+            // 12 tasks charge 1, 12 charge 2, on whatever worker ran them.
+            assert_eq!(
+                summary.counter("common.pool.test_charges"),
+                36,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

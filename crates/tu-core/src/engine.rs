@@ -24,6 +24,7 @@ use tu_mmap::ChunkArena;
 use crate::catalog::{Catalog, CatalogRecord};
 use crate::group::{self, GroupInsert, GroupObject};
 use crate::model;
+use crate::profile::QueryProfile;
 use crate::query::{QueryResult, SampleMerger, SeriesResult};
 use crate::series::{self, HeadInsert, SeriesObject};
 
@@ -151,21 +152,22 @@ pub struct TimeUnion {
 }
 
 /// Pre-resolved global-registry handles for the engine's hot paths (the
-/// registry lookup happens once at open, not per sample).
+/// registry lookup happens once at open, not per sample). Traced, so the
+/// ingest/query entry points attribute their charges to active contexts.
 struct EngineObs {
-    ingest_samples: &'static tu_obs::Counter,
-    queries: &'static tu_obs::Counter,
-    parallel_queries: &'static tu_obs::Counter,
-    parallel_tasks: &'static tu_obs::Counter,
+    ingest_samples: tu_obs::TracedCounter,
+    queries: tu_obs::TracedCounter,
+    parallel_queries: tu_obs::TracedCounter,
+    parallel_tasks: tu_obs::TracedCounter,
 }
 
 impl EngineObs {
     fn resolve() -> Self {
         EngineObs {
-            ingest_samples: tu_obs::counter("core.ingest.samples"),
-            queries: tu_obs::counter("core.query.requests"),
-            parallel_queries: tu_obs::counter("core.query.parallel.queries"),
-            parallel_tasks: tu_obs::counter("core.query.parallel.tasks"),
+            ingest_samples: tu_obs::traced("core.ingest.samples"),
+            queries: tu_obs::traced("core.query.requests"),
+            parallel_queries: tu_obs::traced("core.query.parallel.queries"),
+            parallel_tasks: tu_obs::traced("core.query.parallel.tasks"),
         }
     }
 }
@@ -863,28 +865,68 @@ impl TimeUnion {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<QueryResult> {
+        self.query_exec(selectors, start, end).map(|(out, _)| out)
+    }
+
+    /// [`TimeUnion::query`] under a fresh trace context, returning the
+    /// results together with the query's cost profile: per-stage timings
+    /// and the per-tier requests/bytes this query (and only this query)
+    /// charged, collected across every pool worker it fanned out to.
+    ///
+    /// The execution path is byte-identical to `query` — profiling wraps
+    /// it, it does not fork it.
+    pub fn query_profiled(
+        &self,
+        selectors: &[Selector],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(QueryResult, QueryProfile)> {
+        let ctx = tu_obs::TraceContext::start("query");
+        let t0 = std::time::Instant::now();
+        let (out, matched) = self.query_exec(selectors, start, end)?;
+        let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let threads = self.query_threads.load(Ordering::Relaxed);
+        let profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        Ok((out, profile))
+    }
+
+    /// Shared body of `query`/`query_profiled`; returns the results and
+    /// how many ids the index matched.
+    fn query_exec(
+        &self,
+        selectors: &[Selector],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(QueryResult, usize)> {
         self.obs.queries.inc();
         let _span = tu_obs::span("core.query");
-        let ids = self.index.select(selectors)?;
+        let ids = {
+            let _stage = tu_obs::span("core.query.select");
+            self.index.select(selectors)?
+        };
         let pool = tu_common::pool::WorkerPool::new(self.query_threads.load(Ordering::Relaxed));
         if pool.threads() > 1 && ids.len() > 1 {
             self.obs.parallel_queries.inc();
             self.obs.parallel_tasks.add(ids.len() as u64);
         }
-        let per_id = pool.run(ids.len(), |i| {
-            let id = ids[i];
-            if is_group_id(id) {
-                self.query_group(id, selectors, start, end)
-            } else {
-                self.query_series(id, start, end)
-            }
-        });
+        let per_id = {
+            let _stage = tu_obs::span("core.query.fanout");
+            pool.run(ids.len(), |i| {
+                let id = ids[i];
+                if is_group_id(id) {
+                    self.query_group(id, selectors, start, end)
+                } else {
+                    self.query_series(id, start, end)
+                }
+            })
+        };
+        let _stage = tu_obs::span("core.query.sort");
         let mut out: QueryResult = Vec::new();
         for r in per_id {
             out.extend(r?);
         }
         out.sort_by_cached_key(|s| s.labels.to_bytes());
-        Ok(out)
+        Ok((out, ids.len()))
     }
 
     /// Sets the query fan-out width (clamped to at least 1). Takes effect

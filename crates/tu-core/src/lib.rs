@@ -22,8 +22,10 @@ pub mod catalog;
 pub mod engine;
 pub mod group;
 pub mod model;
+pub mod profile;
 pub mod query;
 pub mod series;
 
 pub use engine::{Options, TimeUnion};
+pub use profile::{QueryProfile, StageTiming, TierProfile};
 pub use query::{QueryResult, SeriesResult};

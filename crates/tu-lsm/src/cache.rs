@@ -54,9 +54,9 @@ pub struct BlockCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
-    obs_hits: &'static tu_obs::Counter,
-    obs_misses: &'static tu_obs::Counter,
-    obs_evictions: &'static tu_obs::Counter,
+    obs_hits: tu_obs::TracedCounter,
+    obs_misses: tu_obs::TracedCounter,
+    obs_evictions: tu_obs::TracedCounter,
 }
 
 impl BlockCache {
@@ -92,9 +92,9 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            obs_hits: tu_obs::counter("lsm.cache.hits"),
-            obs_misses: tu_obs::counter("lsm.cache.misses"),
-            obs_evictions: tu_obs::counter("lsm.cache.evictions"),
+            obs_hits: tu_obs::traced("lsm.cache.hits"),
+            obs_misses: tu_obs::traced("lsm.cache.misses"),
+            obs_evictions: tu_obs::traced("lsm.cache.evictions"),
         }
     }
 

@@ -40,6 +40,25 @@ pub const BLOCK_SIZE: usize = 4096;
 const COMPRESS_NONE: u8 = 0;
 const COMPRESS_SNAPPY: u8 = 1;
 
+/// Block-load and readahead counters, resolved once per process. Traced,
+/// so profiled operations see which block fetches they caused.
+struct SstObs {
+    block_loads: tu_obs::TracedCounter,
+    block_load_bytes: tu_obs::TracedCounter,
+    coalesced_requests: tu_obs::TracedCounter,
+    coalesced_blocks: tu_obs::TracedCounter,
+}
+
+fn sst_obs() -> &'static SstObs {
+    static OBS: std::sync::OnceLock<SstObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| SstObs {
+        block_loads: tu_obs::traced("lsm.sstable.block_loads"),
+        block_load_bytes: tu_obs::traced("lsm.sstable.block_load_bytes"),
+        coalesced_requests: tu_obs::traced("lsm.readahead.coalesced_requests"),
+        coalesced_blocks: tu_obs::traced("lsm.readahead.coalesced_blocks"),
+    })
+}
+
 /// Default cap on how many adjacent uncached blocks one coalesced readahead
 /// request may fetch (64 x 4 KiB ≈ 256 KiB per request — well past the
 /// latency model's 16 KiB knee, so larger runs would trade little latency
@@ -492,8 +511,8 @@ impl Table {
         }
         // Cache miss: this read reaches storage (one billable Get on the
         // slow tier — the per-block term of Equations 4/6).
-        tu_obs::counter("lsm.sstable.block_loads").inc();
-        tu_obs::counter("lsm.sstable.block_load_bytes").add(len);
+        sst_obs().block_loads.inc();
+        sst_obs().block_load_bytes.add(len);
         let framed = self.source.read_at(off, len as usize)?;
         let entries = Arc::new(block_entries(&unframe_block(&framed)?)?);
         if let Some(cache) = &self.cache {
@@ -552,8 +571,8 @@ impl Table {
                     (off, len as usize)
                 })
                 .collect();
-            tu_obs::counter("lsm.readahead.coalesced_requests").inc();
-            tu_obs::counter("lsm.readahead.coalesced_blocks").add(run.len() as u64);
+            sst_obs().coalesced_requests.inc();
+            sst_obs().coalesced_blocks.add(run.len() as u64);
             self.source.read_multi(&ranges)?
         } else {
             let (_, off, len) = self.index[run[0]];
@@ -561,8 +580,8 @@ impl Table {
         };
         for (&idx, framed) in run.iter().zip(&frames) {
             let (_, off, len) = self.index[idx];
-            tu_obs::counter("lsm.sstable.block_loads").inc();
-            tu_obs::counter("lsm.sstable.block_load_bytes").add(len);
+            sst_obs().block_loads.inc();
+            sst_obs().block_load_bytes.add(len);
             let entries = Arc::new(block_entries(&unframe_block(framed)?)?);
             if let Some(cache) = &self.cache {
                 cache.insert(&self.cache_name, off, entries.clone(), len as usize);

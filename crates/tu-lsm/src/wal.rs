@@ -67,8 +67,8 @@ pub struct Wal {
     /// Buffered records waiting for the next append; batching keeps the
     /// per-sample logging cost off the insert path.
     pending: Mutex<Vec<u8>>,
-    obs_appends: &'static tu_obs::Counter,
-    obs_flushed_bytes: &'static tu_obs::Counter,
+    obs_appends: tu_obs::TracedCounter,
+    obs_flushed_bytes: tu_obs::TracedCounter,
 }
 
 impl Wal {
@@ -78,8 +78,8 @@ impl Wal {
             store,
             name: name.into(),
             pending: Mutex::new(Vec::new()),
-            obs_appends: tu_obs::counter("lsm.wal.append_records"),
-            obs_flushed_bytes: tu_obs::counter("lsm.wal.flushed_bytes"),
+            obs_appends: tu_obs::traced("lsm.wal.append_records"),
+            obs_flushed_bytes: tu_obs::traced("lsm.wal.flushed_bytes"),
         }
     }
 

@@ -22,6 +22,19 @@
 //!   stable [`std::fmt::Display`] rendering and a [`MetricsSnapshot::to_json`]
 //!   encoding, dumped by `tu-bench`'s figure binaries and the examples so
 //!   each figure regeneration also emits the raw counters behind it.
+//! * [`TraceContext`] / [`traced`] — scoped per-operation attribution:
+//!   while a context is installed on a thread (and attached to its
+//!   workers), every [`TracedCounter`] charge and span completion is also
+//!   accumulated into the context, so a finished operation knows exactly
+//!   which `cloud.<tier>.*` requests it caused (the paper's Eq. 3–6,
+//!   denominated per operation instead of per process).
+//! * [`flight`] — a fixed-capacity ring buffer of begin/end/instant/
+//!   complete events, off by default (one atomic load when disabled),
+//!   drained on demand.
+//! * [`prometheus_text`] / [`chrome_trace_json`] — exporters for registry
+//!   snapshots (Prometheus text exposition, re-checkable with
+//!   [`parse_prometheus_text`]) and flight recordings (chrome://tracing
+//!   `trace_event` JSON).
 //!
 //! Instrumented metric names, units, and the paper figure/equation each
 //! one maps to are catalogued in `docs/OBSERVABILITY.md`.
@@ -40,13 +53,22 @@
 //! println!("{snap}");
 //! ```
 
+mod export;
+mod flight;
 mod registry;
 mod snapshot;
 mod spans;
+pub mod trace;
 
+pub use export::{
+    chrome_trace_json, parse_prometheus_text, prometheus_name, prometheus_text, PromHistogram,
+    PromParsed,
+};
+pub use flight::{flight, FlightEvent, FlightPhase, FlightRecorder};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use snapshot::MetricsSnapshot;
 pub use spans::{span, span_of, SpanTimer};
+pub use trace::{traced, SpanDelta, TraceContext, TraceHandle, TraceSummary, TracedCounter};
 
 /// The process-wide default registry every instrumented crate records to.
 pub fn global() -> &'static Registry {

@@ -53,10 +53,6 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
-
-    fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
-    }
 }
 
 /// Number of power-of-two buckets. Bucket `i` counts values whose
@@ -187,6 +183,17 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// The distribution of observations recorded since `earlier`:
+    /// count, sum, and every bucket subtract (saturating, since concurrent
+    /// recording can skew individual loads).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
 }
 
 enum Metric {
@@ -288,14 +295,20 @@ impl Registry {
         }
     }
 
-    /// Zeroes every registered metric (names stay registered). Benchmarks
-    /// call this between phases to attribute counters to one run.
+    /// Zeroes every counter and histogram (names stay registered).
+    /// Benchmarks call this between phases to attribute flows to one run.
+    ///
+    /// Gauges are exempt: they are *levels* published when the owning
+    /// component was configured (`cache.shard.count`,
+    /// `core.query.parallel.threads`), not flows since a point in time —
+    /// zeroing them would report a stale zero until the owner happened to
+    /// republish. [`MetricsSnapshot::since`] treats gauges the same way.
     pub fn reset(&self) {
         let metrics = self.metrics.read().expect("registry");
         for metric in metrics.values() {
             match metric {
                 Metric::Counter(c) => c.reset(),
-                Metric::Gauge(g) => g.reset(),
+                Metric::Gauge(_) => {}
                 Metric::Histogram(h) => h.reset(),
             }
         }
@@ -425,5 +438,34 @@ mod tests {
         assert_eq!(r.histogram("h").count(), 0);
         let snap = r.snapshot();
         assert!(snap.counters.contains_key("a"));
+    }
+
+    #[test]
+    fn reset_preserves_gauge_levels() {
+        let r = Registry::new();
+        r.counter("cloud.block.get_requests").add(9);
+        r.gauge("cache.shard.count").set(8);
+        r.gauge("core.query.parallel.threads").set(4);
+        r.reset();
+        // Flows zero; levels survive inter-phase resets.
+        assert_eq!(r.counter("cloud.block.get_requests").get(), 0);
+        assert_eq!(r.gauge("cache.shard.count").get(), 8);
+        assert_eq!(r.gauge("core.query.parallel.threads").get(), 4);
+    }
+
+    #[test]
+    fn histogram_snapshot_since_subtracts_buckets() {
+        let h = Histogram::default();
+        h.record(3);
+        h.record(100);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(5000);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 5100);
+        assert_eq!(delta.buckets[bucket_index(3)], 0);
+        assert_eq!(delta.buckets[bucket_index(100)], 1);
+        assert_eq!(delta.buckets[bucket_index(5000)], 1);
     }
 }

@@ -30,9 +30,11 @@ impl MetricsSnapshot {
         self.histograms.get(name)
     }
 
-    /// Counter deltas since an earlier snapshot (gauges and histograms are
-    /// levels/distributions and are carried over as-is). Counters absent
-    /// from `earlier` count from zero.
+    /// Deltas since an earlier snapshot: counters subtract, histograms
+    /// subtract count/sum/per-bucket (so per-phase quantiles reflect only
+    /// the phase's observations), and gauges — levels, not flows — carry
+    /// over their current value. Metrics absent from `earlier` count from
+    /// zero.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
             .counters
@@ -42,10 +44,21 @@ impl MetricsSnapshot {
                 (k.clone(), v.saturating_sub(before))
             })
             .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let delta = match earlier.histograms.get(k) {
+                    Some(before) => h.since(before),
+                    None => h.clone(),
+                };
+                (k.clone(), delta)
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             gauges: self.gauges.clone(),
-            histograms: self.histograms.clone(),
+            histograms,
         }
     }
 
@@ -101,7 +114,7 @@ fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String,
 
 /// Metric names are dotted identifiers by convention; escape defensively
 /// anyway so arbitrary names cannot corrupt the JSON.
-fn escape(name: &str) -> std::borrow::Cow<'_, str> {
+pub(crate) fn escape(name: &str) -> std::borrow::Cow<'_, str> {
     if name.contains(['"', '\\']) || name.chars().any(|c| c.is_control()) {
         std::borrow::Cow::Owned(
             name.chars()
@@ -184,15 +197,52 @@ mod tests {
     }
 
     #[test]
-    fn since_subtracts_counters_only() {
+    fn since_subtracts_counters_and_histograms() {
         let r = sample_registry();
         let before = r.snapshot();
         r.counter("cloud.object.get_requests").add(5);
         r.histogram("span.flush.ns").record(10);
         let delta = r.snapshot().since(&before);
         assert_eq!(delta.counter("cloud.object.get_requests"), Some(5));
-        // Histograms carry over the full distribution.
-        assert_eq!(delta.histogram("span.flush.ns").unwrap().count, 2);
+        // Histograms are deltas too: only the one new observation remains.
+        let h = delta.histogram("span.flush.ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 10);
+    }
+
+    #[test]
+    fn since_histogram_quantiles_are_per_phase() {
+        let r = Registry::new();
+        // Phase 1: small observations dominate.
+        for _ in 0..100 {
+            r.histogram("span.q.ns").record(8);
+        }
+        let before = r.snapshot();
+        // Phase 2: a few large observations.
+        for _ in 0..4 {
+            r.histogram("span.q.ns").record(1_000_000);
+        }
+        let full = r.snapshot();
+        // The raw distribution still reports the phase-1 median…
+        assert_eq!(full.histogram("span.q.ns").unwrap().p50(), Some(15));
+        // …but the delta sees only phase 2.
+        let delta = full.since(&before);
+        let h = delta.histogram("span.q.ns").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 4_000_000);
+        assert_eq!(h.p50(), Some((1u64 << 20) - 1));
+    }
+
+    #[test]
+    fn since_keeps_gauges_as_levels() {
+        let r = Registry::new();
+        r.gauge("cache.shard.count").set(8);
+        let before = r.snapshot();
+        r.gauge("cache.shard.count").set(8);
+        let delta = r.snapshot().since(&before);
+        // A gauge is a level: the delta report shows the current level,
+        // not a meaningless subtraction.
+        assert_eq!(delta.gauge("cache.shard.count"), Some(8));
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! [`span`] times wall-clock; [`SpanTimer::observe_ns`] lets callers that
 //! measure virtual storage time (see `tu-cloud`'s cost clock) record a
 //! duration they computed themselves.
+//!
+//! Completing a span also charges the active [`crate::TraceContext`]s (the
+//! per-operation stage timings behind `QueryProfile`) and, when the
+//! [`crate::flight`] recorder is enabled, emits one complete (`ph:"X"`)
+//! flight event.
 
 use std::time::Instant;
 
@@ -15,6 +20,7 @@ use crate::registry::Histogram;
 #[derive(Debug)]
 pub struct SpanTimer {
     hist: &'static Histogram,
+    name: Box<str>,
     start: Instant,
     armed: bool,
 }
@@ -29,6 +35,7 @@ pub fn span(name: &str) -> SpanTimer {
 pub fn span_of(registry: &crate::Registry, name: &str) -> SpanTimer {
     SpanTimer {
         hist: registry.histogram(&format!("span.{name}.ns")),
+        name: name.into(),
         start: Instant::now(),
         armed: true,
     }
@@ -44,19 +51,28 @@ impl SpanTimer {
     /// wall-clock elapsed time, consuming the timer.
     pub fn observe_ns(mut self, ns: u64) {
         self.armed = false;
-        self.hist.record(ns);
+        self.complete(ns);
     }
 
     /// Consumes the timer without recording anything.
     pub fn discard(mut self) {
         self.armed = false;
     }
+
+    fn complete(&self, ns: u64) {
+        self.hist.record(ns);
+        crate::trace::charge_span(&self.name, ns);
+        let recorder = crate::flight::flight();
+        if recorder.is_enabled() {
+            recorder.complete(&self.name, self.start, ns);
+        }
+    }
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
         if self.armed {
-            self.hist.record(self.elapsed_ns());
+            self.complete(self.elapsed_ns());
         }
     }
 }
@@ -100,5 +116,20 @@ mod tests {
             let _g = crate::span!("macro_test_span");
         }
         assert!(crate::global().histogram("span.macro_test_span.ns").count() >= 1);
+    }
+
+    #[test]
+    fn spans_charge_active_trace_context() {
+        let r = Registry::new();
+        let ctx = crate::TraceContext::start("span-ctx");
+        span_of(&r, "attributed").observe_ns(77);
+        {
+            let _t = span_of(&r, "attributed");
+        }
+        span_of(&r, "attributed").discard();
+        let s = ctx.finish();
+        let delta = s.span("attributed");
+        assert_eq!(delta.count, 2, "discard must not charge");
+        assert!(delta.total_ns >= 77);
     }
 }

@@ -2,11 +2,33 @@
 //! and a timeseries group, and query them back with tag selectors.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Optional exporter flags (used by CI to validate the formats):
+//! `--trace-out <path>` records a flight-recorder timeline and writes it
+//! as chrome://tracing JSON; `--prom-out <path>` writes the final metrics
+//! snapshot in the Prometheus text exposition format.
 
 use timeunion::engine::{Options, Selector, TimeUnion};
 use timeunion::model::Labels;
 
+/// Value of `--<flag> <v>` or `--<flag>=<v>`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
+    args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix(&eq)
+            .map(|v| v.to_string())
+            .or_else(|| (a == flag).then(|| args.get(i + 1).cloned()).flatten())
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = flag_value(&args, "--trace-out");
+    let prom_out = flag_value(&args, "--prom-out");
+    if trace_out.is_some() {
+        timeunion::obs::flight().enable(4096);
+    }
+
     let dir = tempfile::tempdir()?;
     let db = TimeUnion::open(dir.path().join("db"), Options::default())?;
 
@@ -62,6 +84,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let res = db.query(&[Selector::exact("host", "web-2")], 0, 120_000)?;
     assert_eq!(res.len(), 2);
 
+    // `query_profiled` runs the identical query under a trace context and
+    // returns an "explain analyze" cost profile: per-stage timings and the
+    // per-tier requests/bytes this one query charged (Eq. 4/6, but
+    // denominated per operation instead of per process).
+    let (res, profile) = db.query_profiled(&[Selector::exact("host", "web-2")], 0, 120_000)?;
+    assert_eq!(res.len(), 2);
+    println!();
+    print!("{profile}");
+
     db.sync()?;
     println!(
         "done: {} series, {} groups, heap breakdown: {:?}",
@@ -72,7 +103,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every layer records counters and latency spans into a process-wide
     // registry (docs/OBSERVABILITY.md); dump what this run did.
+    let snapshot = timeunion::obs::global().snapshot();
     println!("\n-------------------- metrics --------------------");
-    print!("{}", timeunion::obs::global().snapshot());
+    print!("{snapshot}");
+
+    if let Some(path) = &prom_out {
+        let text = timeunion::obs::prometheus_text(&snapshot);
+        // Round-trip through the format checker before writing, so CI
+        // fails here rather than at scrape time.
+        timeunion::obs::parse_prometheus_text(&text).map_err(std::io::Error::other)?;
+        std::fs::write(path, text)?;
+        println!("prometheus snapshot written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let recorder = timeunion::obs::flight();
+        let events = recorder.drain();
+        recorder.disable();
+        std::fs::write(path, timeunion::obs::chrome_trace_json(&events))?;
+        println!("chrome trace written to {path} ({} events)", events.len());
+    }
     Ok(())
 }

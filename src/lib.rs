@@ -41,6 +41,7 @@
 /// The TimeUnion engine: open/put/get, groups, retention, recovery.
 pub mod engine {
     pub use tu_core::engine::{Options, TimeUnion};
+    pub use tu_core::profile::{QueryProfile, StageTiming, TierProfile};
     pub use tu_core::query::{QueryResult, SeriesResult};
     pub use tu_index::matcher::Selector;
 }
@@ -96,10 +97,14 @@ pub mod tsbs {
 }
 
 /// Observability: process-wide counters, gauges, latency histograms, and
-/// RAII spans recorded by every crate above (see `docs/OBSERVABILITY.md`).
+/// RAII spans recorded by every crate above, plus per-operation trace
+/// contexts, the flight recorder, and the Prometheus / chrome-trace
+/// exporters (see `docs/OBSERVABILITY.md`).
 pub mod obs {
     pub use tu_obs::{
-        counter, gauge, global, histogram, span, span_of, Counter, Gauge, Histogram,
-        HistogramSnapshot, MetricsSnapshot, Registry, SpanTimer,
+        chrome_trace_json, counter, flight, gauge, global, histogram, parse_prometheus_text,
+        prometheus_text, span, span_of, traced, Counter, FlightEvent, FlightPhase, FlightRecorder,
+        Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SpanDelta, SpanTimer,
+        TraceContext, TraceHandle, TraceSummary, TracedCounter,
     };
 }

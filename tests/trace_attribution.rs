@@ -1,0 +1,179 @@
+//! Per-operation cost attribution must be *exact*: the tier charges a
+//! profiled query reports (`QueryProfile::{block,object}`) have to equal
+//! the deltas of the global `cloud.<tier>.*` counters over the same call
+//! — no double-counting, no leakage to other contexts — at every query
+//! fan-out width, and with concurrent profiled queries racing each other
+//! the per-profile sums must still partition the global deltas.
+//!
+//! This file holds a single test on purpose: integration-test files run
+//! in their own process, so the global registry deltas below are exact.
+
+use rand::{Rng, SeedableRng};
+use timeunion::engine::{Options, QueryProfile, Selector, TimeUnion};
+use timeunion::lsm::TreeOptions;
+use timeunion::model::Labels;
+use tu_cloud::cost::LatencyMode;
+
+const MIN: i64 = 60_000;
+
+/// The dynamically named per-tier counter family from `tu-cloud`'s cost
+/// model; `tier_fields` returns the `TierProfile` field mirroring each.
+const TIER_COUNTERS: [&str; 10] = [
+    "cloud.block.get_requests",
+    "cloud.block.put_requests",
+    "cloud.block.bytes_read",
+    "cloud.block.bytes_written",
+    "cloud.block.first_reads",
+    "cloud.object.get_requests",
+    "cloud.object.put_requests",
+    "cloud.object.bytes_read",
+    "cloud.object.bytes_written",
+    "cloud.object.first_reads",
+];
+
+fn tier_fields(p: &QueryProfile) -> [u64; 10] {
+    [
+        p.block.get_requests,
+        p.block.put_requests,
+        p.block.bytes_read,
+        p.block.bytes_written,
+        p.block.first_reads,
+        p.object.get_requests,
+        p.object.put_requests,
+        p.object.bytes_read,
+        p.object.bytes_written,
+        p.object.first_reads,
+    ]
+}
+
+fn cloud_counters() -> [u64; 10] {
+    let snap = timeunion::obs::global().snapshot();
+    TIER_COUNTERS.map(|name| snap.counter(name).unwrap_or(0))
+}
+
+#[test]
+fn profiled_query_charges_match_global_deltas_exactly() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = TimeUnion::open(
+        dir.path(),
+        Options {
+            chunk_samples: 8,
+            latency: LatencyMode::Virtual,
+            tree: TreeOptions {
+                memtable_bytes: 16 << 10,
+                max_sstable_bytes: 16 << 10,
+                // A deliberately tiny block cache so every query round
+                // keeps paying real storage Gets (nonzero deltas to pin).
+                block_cache_bytes: 4 << 10,
+                ..TreeOptions::default()
+            },
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0C0FFEE);
+
+    // Seeded randomized workload: 16 series over 4 metrics, jittered
+    // timestamps, then a flush so queries span SSTables and head chunks.
+    let mut ids = Vec::new();
+    for s in 0..16 {
+        let labels = Labels::from_pairs([
+            ("metric", format!("m{}", s % 4).as_str()),
+            ("host", format!("h{s}").as_str()),
+        ]);
+        ids.push(db.put(&labels, 0, s as f64).unwrap());
+    }
+    for _ in 0..200 {
+        let base: i64 = rng.gen_range(1..600i64) * MIN;
+        for &id in &ids {
+            let jitter: i64 = rng.gen_range(-5 * MIN..5 * MIN);
+            db.put_by_id(id, (base + jitter).max(1), rng.gen_range(0.0..100.0))
+                .unwrap();
+        }
+    }
+    db.flush_all().unwrap();
+    db.sync().unwrap();
+
+    let cases: Vec<Vec<Selector>> = vec![
+        vec![Selector::exact("metric", "m0")],
+        vec![Selector::exact("metric", "m1")],
+        vec![Selector::exact("metric", "m2")],
+        vec![Selector::exact("metric", "m3")],
+        vec![Selector::exact("host", "h7")],
+    ];
+    let (start, end) = (0i64, 600 * MIN);
+
+    // Sequential baseline results: profiling must never change answers.
+    db.set_query_threads(1);
+    let baseline: Vec<_> = cases
+        .iter()
+        .map(|sel| db.query(sel, start, end).unwrap())
+        .collect();
+    assert!(baseline.iter().all(|r| !r.is_empty()));
+
+    // --- single-query exactness at both fan-out widths --------------------
+    for threads in [1usize, 8] {
+        db.set_query_threads(threads);
+        for (sel, expect) in cases.iter().zip(&baseline) {
+            let before = cloud_counters();
+            let (res, profile) = db.query_profiled(sel, start, end).unwrap();
+            let after = cloud_counters();
+
+            assert_eq!(&res, expect, "profiling changed the result of {sel:?}");
+            assert_eq!(profile.threads, threads);
+            let got = tier_fields(&profile);
+            for i in 0..TIER_COUNTERS.len() {
+                assert_eq!(
+                    got[i],
+                    after[i] - before[i],
+                    "{}: profile={}, global delta={} (threads={threads})",
+                    TIER_COUNTERS[i],
+                    got[i],
+                    after[i] - before[i]
+                );
+            }
+        }
+    }
+
+    // The tiny cache must have forced the profiled queries to actually
+    // touch storage — otherwise the equalities above are vacuous.
+    let touched = cloud_counters();
+    assert!(
+        touched[0] + touched[5] > 0,
+        "workload never charged a cloud Get"
+    );
+
+    // --- concurrent profiled queries partition the global deltas ----------
+    for threads in [1usize, 8] {
+        db.set_query_threads(threads);
+        let before = cloud_counters();
+        let profiles: Vec<QueryProfile> = std::thread::scope(|s| {
+            let handles: Vec<_> = cases
+                .iter()
+                .zip(&baseline)
+                .map(|(sel, expect)| {
+                    let db = &db;
+                    s.spawn(move || {
+                        let (res, profile) = db.query_profiled(sel, start, end).unwrap();
+                        assert_eq!(&res, expect, "concurrent run changed {sel:?}");
+                        profile
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let after = cloud_counters();
+
+        for (i, name) in TIER_COUNTERS.iter().enumerate() {
+            let summed: u64 = profiles.iter().map(|p| tier_fields(p)[i]).sum();
+            assert_eq!(
+                summed,
+                after[i] - before[i],
+                "{name}: sum over {} concurrent profiles={summed}, global delta={} \
+                 (threads={threads})",
+                profiles.len(),
+                after[i] - before[i]
+            );
+        }
+    }
+}
