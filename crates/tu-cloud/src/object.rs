@@ -81,8 +81,10 @@ impl ObjectStore {
     }
 
     fn rel_name(&self, path: &Path) -> String {
+        // Paths reaching here come from walking `self.root`, so the strip
+        // always succeeds; fall back to the full path rather than panic.
         path.strip_prefix(&self.root)
-            .expect("indexed path is under root")
+            .unwrap_or(path)
             .to_string_lossy()
             .into_owned()
     }

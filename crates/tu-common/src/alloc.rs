@@ -25,7 +25,12 @@ static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
 /// peak heap bytes.
 pub struct CountingAllocator;
 
+// SAFETY: every method delegates the actual allocation to `System`, which
+// upholds the `GlobalAlloc` contract; this wrapper only adds relaxed atomic
+// bookkeeping, which cannot allocate (no reentrancy) or unwind.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to `System.alloc` untouched; the
+    // caller's obligations (non-zero size, valid layout) pass through.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -34,11 +39,16 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: `ptr`/`layout` come from a prior `alloc`/`realloc` on this
+    // same allocator (caller's contract) and are forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: forwards to `System.realloc` under the caller's contract;
+    // counters are only adjusted after the system call succeeds, so the
+    // accounting never touches freed memory.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -1,0 +1,70 @@
+//! Little-endian decoding helpers for fixed-width fields in on-disk
+//! formats (SSTable footers, WAL records, chunk headers, catalog rows).
+//!
+//! Every storage crate used to spell this as
+//! `u32::from_le_bytes(buf[i..i + 4].try_into().expect("4 bytes"))` — an
+//! `expect` that the workspace lint's panic-discipline rule rightly
+//! flags. These helpers centralize the conversion: callers bounds-check
+//! the enclosing record once (as they already must to slice it) and then
+//! decode fields without per-field `expect`s.
+//!
+//! Like the slice indexing it replaces, each helper panics via the normal
+//! slice-bounds machinery if fewer than the required bytes are present;
+//! callers decoding untrusted input must validate lengths first and
+//! return [`crate::Error::Corruption`] (see `read_exact`-style framing in
+//! tu-lsm's WAL and SSTable readers).
+
+/// Decodes the first 4 bytes of `b` as a little-endian `u32`.
+#[inline]
+pub fn u32_le(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Decodes the first 8 bytes of `b` as a little-endian `u64`.
+#[inline]
+pub fn u64_le(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// Decodes the first 8 bytes of `b` as a little-endian `i64`.
+#[inline]
+pub fn i64_le(b: &[u8]) -> i64 {
+    u64_le(b) as i64
+}
+
+/// Decodes the first 8 bytes of `b` as a little-endian `f64`.
+#[inline]
+pub fn f64_le(b: &[u8]) -> f64 {
+    f64::from_bits(u64_le(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(u32_le(&0xDEAD_BEEFu32.to_le_bytes()), 0xDEAD_BEEF);
+        assert_eq!(u64_le(&u64::MAX.to_le_bytes()), u64::MAX);
+        assert_eq!(i64_le(&(-42i64).to_le_bytes()), -42);
+        assert_eq!(f64_le(&1.5f64.to_le_bytes()), 1.5);
+        let nan = f64_le(&f64::NAN.to_le_bytes());
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn longer_slices_use_only_the_prefix() {
+        let buf = [1u8, 0, 0, 0, 99, 99, 99, 99];
+        assert_eq!(u32_le(&buf), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_slice_panics_like_indexing() {
+        u32_le(&[1, 2, 3]);
+    }
+}

@@ -7,6 +7,7 @@
 //! (Figures 3, 13d, and 16).
 
 pub mod alloc;
+pub mod bytes;
 pub mod clock;
 pub mod error;
 pub mod keys;

@@ -112,37 +112,29 @@ impl CatalogRecord {
             .ok_or_else(|| Error::corruption("empty catalog record"))?;
         match tag {
             1 => {
-                let id = u64::from_le_bytes(
+                let id = tu_common::bytes::u64_le(
                     body.get(1..9)
-                        .ok_or_else(|| Error::corruption("catalog series id truncated"))?
-                        .try_into()
-                        .expect("8 bytes"),
+                        .ok_or_else(|| Error::corruption("catalog series id truncated"))?,
                 );
                 let (labels, _) = read_labels(&body[9..])?;
                 Ok(CatalogRecord::Series { id, labels })
             }
             2 => {
-                let gid = u64::from_le_bytes(
+                let gid = tu_common::bytes::u64_le(
                     body.get(1..9)
-                        .ok_or_else(|| Error::corruption("catalog group id truncated"))?
-                        .try_into()
-                        .expect("8 bytes"),
+                        .ok_or_else(|| Error::corruption("catalog group id truncated"))?,
                 );
                 let (group_tags, _) = read_labels(&body[9..])?;
                 Ok(CatalogRecord::Group { gid, group_tags })
             }
             3 => {
-                let gid = u64::from_le_bytes(
+                let gid = tu_common::bytes::u64_le(
                     body.get(1..9)
-                        .ok_or_else(|| Error::corruption("catalog member gid truncated"))?
-                        .try_into()
-                        .expect("8 bytes"),
+                        .ok_or_else(|| Error::corruption("catalog member gid truncated"))?,
                 );
-                let slot = u32::from_le_bytes(
+                let slot = tu_common::bytes::u32_le(
                     body.get(9..13)
-                        .ok_or_else(|| Error::corruption("catalog member slot truncated"))?
-                        .try_into()
-                        .expect("4 bytes"),
+                        .ok_or_else(|| Error::corruption("catalog member slot truncated"))?,
                 );
                 let (unique_tags, _) = read_labels(&body[13..])?;
                 Ok(CatalogRecord::Member {
@@ -199,10 +191,8 @@ impl Catalog {
         let mut out = Vec::new();
         let mut off = 0usize;
         while off + 8 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-            let stored = crc::unmask(u32::from_le_bytes(
-                bytes[off + 4..off + 8].try_into().expect("4 bytes"),
-            ));
+            let len = tu_common::bytes::u32_le(&bytes[off..off + 4]) as usize;
+            let stored = crc::unmask(tu_common::bytes::u32_le(&bytes[off + 4..off + 8]));
             let start = off + 8;
             if start + len > bytes.len() {
                 break;

@@ -256,11 +256,12 @@ impl TimeUnion {
     /// Spawns the background maintenance worker: flushes, compactions, WAL
     /// checkpoints, and retention run every `interval` off the insert
     /// path. Pair with `Options::inline_maintenance = false`. Stopped by
-    /// [`TimeUnion::stop_background`] or on drop.
-    pub fn start_background(self: &Arc<Self>, interval: std::time::Duration) {
+    /// [`TimeUnion::stop_background`] or on drop. Fails only when the OS
+    /// refuses to spawn the thread.
+    pub fn start_background(self: &Arc<Self>, interval: std::time::Duration) -> Result<()> {
         let mut worker = self.worker.lock();
         if worker.is_some() {
-            return;
+            return Ok(());
         }
         let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
         let weak = Arc::downgrade(self);
@@ -278,12 +279,12 @@ impl TimeUnion {
                 // foreground sync() will surface persistent errors.
                 let _ = engine.maintain();
                 let _ = engine.apply_retention();
-            })
-            .expect("spawn maintenance worker");
+            })?;
         *worker = Some(Worker {
             stop: stop_tx,
             join,
         });
+        Ok(())
     }
 
     /// Stops the background worker, if running, and waits for it.
@@ -340,7 +341,7 @@ impl TimeUnion {
         // 2. Engine meta (monotonic hints).
         if let Ok(meta) = self.env.block.read_file("engine.meta") {
             if meta.len() == 8 {
-                let span = i64::from_le_bytes(meta.try_into().expect("8 bytes"));
+                let span = tu_common::bytes::i64_le(&meta);
                 self.max_chunk_span.fetch_max(span, Ordering::Relaxed);
             }
         }
@@ -534,7 +535,12 @@ impl TimeUnion {
             return Err(Error::invalid("a group needs at least one group tag"));
         }
         let gid = self.get_or_create_group(group_tags)?;
-        let obj = self.groups.read().get(&gid).cloned().expect("just created");
+        let obj = self
+            .groups
+            .read()
+            .get(&gid)
+            .cloned()
+            .ok_or_else(|| Error::corruption("group object missing right after creation"))?;
         let mut g = obj.lock();
         let mut refs = Vec::with_capacity(member_tags.len());
         for tags in member_tags {
@@ -882,9 +888,9 @@ impl TimeUnion {
         end: Timestamp,
     ) -> Result<(QueryResult, QueryProfile)> {
         let ctx = tu_obs::TraceContext::start("query");
-        let t0 = std::time::Instant::now();
+        let t0 = tu_obs::Stopwatch::start();
         let (out, matched) = self.query_exec(selectors, start, end)?;
-        let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let wall_ns = t0.elapsed_ns();
         let threads = self.query_threads.load(Ordering::Relaxed);
         let profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
         Ok((out, profile))
@@ -1465,7 +1471,8 @@ mod tests {
         o.inline_maintenance = false;
         o.tree.memtable_bytes = 4 << 10; // seal early so the worker has work
         let e = Arc::new(TimeUnion::open(dir.path().join("db"), o).unwrap());
-        e.start_background(std::time::Duration::from_millis(5));
+        e.start_background(std::time::Duration::from_millis(5))
+            .unwrap();
         let id = e.put(&labels(&[("metric", "bg")]), 0, 0.0).unwrap();
         for i in 1..3_000i64 {
             e.put_by_id(id, i * 1_000, i as f64).unwrap();

@@ -74,7 +74,7 @@ fn decode_ts(payload: &[u8]) -> Result<Vec<Timestamp>> {
     }
     Ok(payload
         .chunks_exact(TS_ROW)
-        .map(|r| i64::from_le_bytes(r.try_into().expect("8 bytes")))
+        .map(tu_common::bytes::i64_le)
         .collect())
 }
 
@@ -92,7 +92,7 @@ fn decode_vals(payload: &[u8]) -> Result<Vec<Option<Value>>> {
     }
     Ok(payload
         .chunks_exact(VAL_ROW)
-        .map(|r| (r[0] != 0).then(|| f64::from_le_bytes(r[1..].try_into().expect("8 bytes"))))
+        .map(|r| (r[0] != 0).then(|| tu_common::bytes::f64_le(&r[1..])))
         .collect())
 }
 
@@ -248,7 +248,9 @@ impl GroupObject {
                 ts_arena.write(self.ts_handle, &encode_ts(&ts))?;
             }
             self.head_first = ts[0];
-            self.head_last = *ts.last().expect("non-empty");
+            self.head_last = *ts
+                .last()
+                .ok_or_else(|| Error::corruption("group head empty after insert"))?;
             self.head_count = ts.len() as u16;
         }
         self.last_ts = self.last_ts.max(t);
@@ -256,7 +258,9 @@ impl GroupObject {
             let ts = decode_ts(&ts_arena.read(self.ts_handle)?)?;
             let chunk = self.build_chunk(&ts, val_arena)?;
             let first_ts = self.head_first;
-            let last_ts = *ts.last().expect("non-empty");
+            let last_ts = *ts
+                .last()
+                .ok_or_else(|| Error::corruption("sealing an empty group head"))?;
             self.clear_head(ts_arena, val_arena)?;
             return Ok(GroupInsert::Sealed {
                 first_ts,
@@ -303,7 +307,9 @@ impl GroupObject {
         let ts = decode_ts(&ts_arena.read(self.ts_handle)?)?;
         let chunk = self.build_chunk(&ts, val_arena)?;
         let first_ts = self.head_first;
-        let last_ts = *ts.last().expect("non-empty");
+        let last_ts = *ts
+            .last()
+            .ok_or_else(|| Error::corruption("sealing an empty group head"))?;
         self.clear_head(ts_arena, val_arena)?;
         Ok(Some((first_ts, last_ts, chunk)))
     }

@@ -59,8 +59,8 @@ fn decode_rows(payload: &[u8]) -> Result<Vec<Sample>> {
         .chunks_exact(ROW)
         .map(|r| {
             Sample::new(
-                i64::from_le_bytes(r[..8].try_into().expect("8 bytes")),
-                f64::from_le_bytes(r[8..].try_into().expect("8 bytes")),
+                tu_common::bytes::i64_le(&r[..8]),
+                tu_common::bytes::f64_le(&r[8..]),
             )
         })
         .collect())
@@ -141,8 +141,12 @@ impl SeriesObject {
                 Ok(i) => rows[i].v = v, // duplicate timestamp: replace
                 Err(i) => rows.insert(i, Sample::new(t, v)),
             }
-            self.head_first = rows.first().expect("non-empty").t;
-            self.head_last = rows.last().expect("non-empty").t;
+            let (first, last) = match (rows.first(), rows.last()) {
+                (Some(f), Some(l)) => (f.t, l.t),
+                _ => return Err(Error::corruption("series head empty after insert")),
+            };
+            self.head_first = first;
+            self.head_last = last;
             self.head_count = rows.len() as u16;
             arena.write(self.handle, &encode_rows(&rows))?;
         }

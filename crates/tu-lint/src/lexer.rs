@@ -1,0 +1,443 @@
+//! A small hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules in this crate match token *sequences* (`Instant :: now`,
+//! `. unwrap (`), so the lexer's one job is to classify source bytes well
+//! enough that text inside line comments, block comments, string literals,
+//! raw strings, and char literals can never be mistaken for code. It is not
+//! a full Rust lexer: numeric literals are tokenized loosely and keywords
+//! are ordinary identifiers, which is all sequence matching needs.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// `// ...` including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* ... */` including nested block comments.
+    BlockComment,
+    /// `"..."`, `b"..."` — escape-aware.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br#"..."#` — hash-delimited, no escapes.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'a` in `&'a str` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal, tokenized loosely (`1_000`, `0xff`, `1e9`).
+    Number,
+    /// Any single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct(u8),
+}
+
+/// One token with its 1-based line and byte span in the source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens (which sequence matching skips).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals extend to
+/// end-of-input, and unrecognized bytes become `Punct`.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_prefixed_start() => self.raw_or_prefixed(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct(b)
+                }
+            };
+            self.out.push(Token {
+                kind,
+                line,
+                start,
+                end: self.pos,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, n: usize) -> Option<u8> {
+        self.src.get(self.pos + n).copied()
+    }
+
+    /// True when the cursor sits on an `r`/`b`/`br` prefix of a string,
+    /// raw string, or byte char — as opposed to a plain identifier.
+    fn raw_or_prefixed_start(&self) -> bool {
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+            match self.src.get(i) {
+                Some(b'"') | Some(b'\'') => return true,
+                Some(b'r') => i += 1,
+                _ => return false,
+            }
+        } else {
+            // 'r'
+            i += 1;
+        }
+        // After `r` / `br`: a raw string starts `"` or `#..#"`. Anything
+        // else (`r#type`, plain `rate`) is an identifier.
+        let mut j = i;
+        while self.src.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.src.get(j) == Some(&b'"')
+    }
+
+    fn raw_or_prefixed(&mut self) -> TokenKind {
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+            match self.src.get(self.pos) {
+                Some(b'"') => return self.string(),
+                Some(b'\'') => return self.char_or_lifetime(),
+                Some(b'r') => {
+                    self.pos += 1;
+                    return self.raw_string();
+                }
+                _ => unreachable!("guarded by raw_or_prefixed_start"),
+            }
+        }
+        // 'r'
+        self.pos += 1;
+        self.raw_string()
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Cursor is just past `r`/`br`, on the hashes or opening quote.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.src.get(self.pos) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    let mut closing = 0usize;
+                    while closing < hashes && self.src.get(self.pos) == Some(&b'#') {
+                        closing += 1;
+                        self.pos += 1;
+                    }
+                    if closing == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // Cursor on the opening `'`. Disambiguate lifetime (`'a`, `'static`)
+        // from char literal (`'a'`, `'\n'`): a lifetime is `'` + ident with
+        // no closing quote right after the first ident char run.
+        self.pos += 1;
+        match self.src.get(self.pos) {
+            Some(b'\\') => {
+                self.pos += 2; // escape introducer + escaped byte
+                               // consume to closing quote (handles \u{...})
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                TokenKind::Char
+            }
+            Some(&c) if is_ident_start(c) => {
+                let mut i = self.pos + 1;
+                while self.src.get(i).copied().is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'\'') {
+                    self.pos = i + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = i;
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'x'` where x is punctuation/digit, or stray quote.
+                self.pos += 1;
+                if self.src.get(self.pos) == Some(&b'\'') {
+                    self.pos += 1;
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier `r#name` arrives here only when it is not a raw
+        // string (checked by raw_or_prefixed_start).
+        if self.src[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self
+            .src
+            .get(self.pos)
+            .copied()
+            .is_some_and(is_ident_continue)
+        {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Loose: digits plus alphanumerics/underscores. `1.5` lexes as
+        // Number(1) Punct(.) Number(5); rules never inspect numbers.
+        while self
+            .src
+            .get(self.pos)
+            .copied()
+            .is_some_and(is_ident_continue)
+        {
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = foo.bar();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct(b'='), "=".into()));
+        assert!(toks.contains(&(TokenKind::Punct(b'.'), ".".into())));
+    }
+
+    #[test]
+    fn line_comment_swallows_code_text() {
+        // `Instant::now` appears only inside the comment: no Ident tokens.
+        let src = "// call Instant::now() here\nlet x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2, "line counting resumes after comment");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* outer /* inner unwrap() */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn string_literals_hide_their_contents() {
+        let src = r#"let s = "Instant::now() .unwrap()";"#;
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a\"b.unwrap()"; s.len()"#;
+        assert_eq!(idents(src), vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let s = r#\"panic!(\"x\") \"quoted\" .unwrap()\"#; s.len()";
+        assert_eq!(idents(src), vec!["let", "s", "s", "len"]);
+        let src2 = "let s = r\"SystemTime\";";
+        assert_eq!(idents(src2), vec!["let", "s"]);
+        let src3 = "let s = br##\"raw \"# still raw\"##; done()";
+        assert_eq!(idents(src3), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let src = "let r#type = 1; r#type.touch()";
+        assert_eq!(idents(src), vec!["let", "r#type", "r#type", "touch"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'x'"]);
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let src = r"let c = '\n'; let q = '\''; let u = '\u{1F600}'; f()";
+        assert_eq!(idents(src), vec!["let", "c", "let", "q", "let", "u", "f"]);
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let src = "let b = b\"unwrap()\"; let c = b'x'; g()";
+        assert_eq!(idents(src), vec!["let", "b", "let", "c", "g"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_tokens() {
+        let src = "let a = \"line1\nline2\";\nlet b = 2; /* c1\nc2 */ let c = 3;";
+        let toks = lex(src);
+        let b_tok = toks
+            .iter()
+            .find(|t| t.text(src) == "b")
+            .expect("ident b present");
+        assert_eq!(b_tok.line, 3);
+        let c_tok = toks
+            .iter()
+            .find(|t| t.text(src) == "c")
+            .expect("ident c present");
+        assert_eq!(c_tok.line, 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        assert!(!lex("let s = \"abc").is_empty());
+        assert!(!lex("let s = r#\"abc").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+    }
+}

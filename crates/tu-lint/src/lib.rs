@@ -1,0 +1,105 @@
+//! `tu-lint`: the TimeUnion workspace static-analysis pass.
+//!
+//! A zero-dependency lint tool with a small hand-rolled Rust lexer
+//! (comment/string/raw-string aware) that enforces project-specific
+//! discipline rules across the workspace — see [`rules`] for the rule set
+//! and the invariants each one protects, and `docs/STATIC_ANALYSIS.md` for
+//! the operator-facing guide.
+//!
+//! Three entry points:
+//! * `cargo run -p tu-lint` — the CLI (human or `--format json` output);
+//! * `tests/lint_clean.rs` at the workspace root — a tier-1 test asserting
+//!   zero unallowed findings, so `cargo test` gates the rules;
+//! * [`lint_source`] — lint a single in-memory file, used by self-tests.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::{Finding, Report, UnusedAllow};
+pub use rules::{lint_source, ALL_RULES};
+
+/// Directories under the workspace root that contain first-party sources.
+/// `vendor/` (third-party stubs) and `target/` are deliberately absent.
+const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+/// Lints every first-party `.rs` file under `root` (a workspace root) and
+/// returns the aggregate report. Files are visited in sorted order so the
+/// report is deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for dir in SOURCE_ROOTS {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect_rs_files(&path, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (findings, unused) = rules::lint_source(&rel, &src);
+        report.add_file(&rel, findings, unused);
+    }
+    Ok(report)
+}
+
+/// The workspace root when running under cargo: two levels above this
+/// crate's manifest (`crates/tu-lint` → workspace).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_points_at_cargo_workspace() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "{root:?}");
+        assert!(root.join("crates/tu-lint").is_dir());
+    }
+
+    #[test]
+    fn lint_workspace_scans_a_plausible_file_count() {
+        let report = lint_workspace(&workspace_root()).expect("workspace lints");
+        assert!(
+            report.files_scanned > 50,
+            "expected the whole workspace, scanned {}",
+            report.files_scanned
+        );
+    }
+}

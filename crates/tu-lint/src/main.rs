@@ -1,0 +1,71 @@
+//! CLI for the TimeUnion workspace lint.
+//!
+//! ```text
+//! cargo run -p tu-lint                 # human output, exit 1 on findings
+//! cargo run -p tu-lint -- --format json
+//! cargo run -p tu-lint -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => return usage(&format!("--format expects json|text, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root expects a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tu-lint: TimeUnion workspace static analysis\n\n\
+                     USAGE: tu-lint [--format text|json] [--root <workspace>]\n\n\
+                     RULES: {}\n\n\
+                     Suppress one finding with a preceding comment:\n  \
+                     // tu-lint: allow(<rule>): <reason>\n\n\
+                     See docs/STATIC_ANALYSIS.md for the full guide.",
+                    tu_lint::ALL_RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(tu_lint::workspace_root);
+    let report = match tu_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tu-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => println!("{}", report.to_json()),
+    }
+    if report.unallowed_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tu-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

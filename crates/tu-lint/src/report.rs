@@ -1,0 +1,212 @@
+//! Findings and the machine-readable report.
+
+use std::fmt::Write as _;
+
+use crate::rules::AllowDirective;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `clock-discipline`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human explanation, including the fix direction.
+    pub message: String,
+    /// True when a `// tu-lint: allow(...)` directive suppressed it.
+    pub allowed: bool,
+    /// The allow directive's documented reason, when present.
+    pub reason: Option<String>,
+}
+
+/// An allow directive that never matched a finding (likely stale).
+#[derive(Debug, Clone)]
+pub struct UnusedAllow {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Aggregated result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub unused_allows: Vec<UnusedAllow>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn add_file(&mut self, file: &str, findings: Vec<Finding>, unused: Vec<AllowDirective>) {
+        self.files_scanned += 1;
+        self.findings.extend(findings);
+        self.unused_allows
+            .extend(unused.into_iter().map(|a| UnusedAllow {
+                rule: a.rule,
+                file: file.to_string(),
+                line: a.line,
+            }));
+    }
+
+    /// Findings not suppressed by an allow directive; any of these fail
+    /// the build.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    pub fn unallowed_count(&self) -> usize {
+        self.unallowed().count()
+    }
+
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed).count()
+    }
+
+    /// Human-readable rendering: one `file:line: [rule] message` per
+    /// unallowed finding, then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.unallowed() {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        for a in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "{}:{}: note: unused `tu-lint: allow({})` directive",
+                a.file, a.line, a.rule
+            );
+        }
+        let _ = writeln!(
+            out,
+            "tu-lint: {} files scanned, {} findings ({} allowed), {} unused allows",
+            self.files_scanned,
+            self.unallowed_count(),
+            self.allowed_count(),
+            self.unused_allows.len()
+        );
+        out
+    }
+
+    /// Stable JSON rendering for CI and tooling.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"files_scanned\":{},\"unallowed\":{},\"allowed\":{},\"findings\":[",
+            self.files_scanned,
+            self.unallowed_count(),
+            self.allowed_count()
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"allowed\":{},\"message\":\"{}\"",
+                escape(f.rule),
+                escape(&f.file),
+                f.line,
+                f.allowed,
+                escape(&f.message)
+            );
+            if let Some(r) = &f.reason {
+                let _ = write!(out, ",\"reason\":\"{}\"", escape(r));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"unused_allows\":[");
+        for (i, a) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                escape(&a.rule),
+                escape(&a.file),
+                a.line
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.add_file(
+            "crates/tu-lsm/src/tree.rs",
+            vec![
+                Finding {
+                    rule: "clock-discipline",
+                    file: "crates/tu-lsm/src/tree.rs".into(),
+                    line: 42,
+                    message: "wall-clock \"Instant::now()\"".into(),
+                    allowed: false,
+                    reason: None,
+                },
+                Finding {
+                    rule: "panic-discipline",
+                    file: "crates/tu-lsm/src/tree.rs".into(),
+                    line: 50,
+                    message: "unwrap".into(),
+                    allowed: true,
+                    reason: Some("lock poisoning is fatal by design".into()),
+                },
+            ],
+            Vec::new(),
+        );
+        r
+    }
+
+    #[test]
+    fn text_lists_unallowed_and_summarizes() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/tu-lsm/src/tree.rs:42: [clock-discipline]"));
+        assert!(!text.contains(":50:"), "allowed findings are not listed");
+        assert!(text.contains("1 findings (1 allowed)"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"unallowed\":1"));
+        assert!(json.contains("\\\"Instant::now()\\\""));
+        assert!(json.contains("\"reason\":\"lock poisoning is fatal by design\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn counts() {
+        let r = sample();
+        assert_eq!(r.unallowed_count(), 1);
+        assert_eq!(r.allowed_count(), 1);
+        assert_eq!(r.files_scanned, 1);
+    }
+}

@@ -163,15 +163,12 @@ impl BlockCache {
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone());
-            match victim {
-                Some(k) => {
-                    let e = inner.map.remove(&k).expect("present");
-                    inner.used -= e.charge;
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                    self.obs_evictions.inc();
-                }
-                None => break,
-            }
+            let Some(e) = victim.and_then(|k| inner.map.remove(&k)) else {
+                break;
+            };
+            inner.used -= e.charge;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.obs_evictions.inc();
         }
     }
 

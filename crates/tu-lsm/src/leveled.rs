@@ -263,16 +263,14 @@ impl LeveledTree {
             if victims.is_empty() {
                 return Ok(());
             }
-            let min_key = victims
-                .iter()
-                .map(|t| t.props.first_key.clone())
-                .min()
-                .expect("nonempty");
-            let max_key = victims
-                .iter()
-                .map(|t| t.props.last_key.clone())
-                .max()
-                .expect("nonempty");
+            let (min_key, max_key) = match (
+                victims.iter().map(|t| &t.props.first_key).min(),
+                victims.iter().map(|t| &t.props.last_key).max(),
+            ) {
+                (Some(lo), Some(hi)) => (lo.clone(), hi.clone()),
+                // Unreachable: victims was checked non-empty above.
+                _ => return Ok(()),
+            };
             // All overlapping tables in the next level are read (the
             // behaviour Figure 4 quantifies).
             let next = level + 1;

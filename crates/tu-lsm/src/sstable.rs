@@ -135,8 +135,7 @@ fn block_entries(block: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
     if block.len() < 4 {
         return Err(Error::corruption("sstable block shorter than trailer"));
     }
-    let n_restarts =
-        u32::from_le_bytes(block[block.len() - 4..].try_into().expect("4 bytes")) as usize;
+    let n_restarts = tu_common::bytes::u32_le(&block[block.len() - 4..]) as usize;
     let data_end = block
         .len()
         .checked_sub(4 + n_restarts * 4)
@@ -188,7 +187,7 @@ fn unframe_block(framed: &[u8]) -> Result<Vec<u8>> {
         return Err(Error::corruption("sstable block frame truncated"));
     }
     let (body_tag, crc_bytes) = framed.split_at(framed.len() - 4);
-    let stored = crc::unmask(u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")));
+    let stored = crc::unmask(tu_common::bytes::u32_le(crc_bytes));
     if crc::crc32c(body_tag) != stored {
         return Err(Error::corruption("sstable block checksum mismatch"));
     }
@@ -311,7 +310,9 @@ impl TableBuilder {
         let bloom_off = self.buf.len() as u64;
         self.buf.extend_from_slice(&bloom_bytes);
         // Properties block.
-        let first_key = self.first_key.expect("entries > 0");
+        let first_key = self
+            .first_key
+            .ok_or_else(|| Error::invalid("sstable has entries but no first key"))?;
         let mut props = Vec::new();
         varint::write_u64(&mut props, self.entries);
         varint::write_u64(&mut props, first_key.len() as u64);
@@ -425,13 +426,13 @@ impl Table {
             return Err(Error::corruption("sstable shorter than its footer"));
         }
         let footer = source.read_at(file_len - FOOTER_LEN as u64, FOOTER_LEN)?;
-        let magic = u64::from_le_bytes(footer[FOOTER_LEN - 8..].try_into().expect("8 bytes"));
+        let magic = tu_common::bytes::u64_le(&footer[FOOTER_LEN - 8..]);
         if magic != MAGIC {
             return Err(Error::corruption("sstable footer magic mismatch"));
         }
         let mut fields = [0u64; 8];
         for (i, f) in fields.iter_mut().enumerate() {
-            *f = u64::from_le_bytes(footer[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            *f = tu_common::bytes::u64_le(&footer[i * 8..i * 8 + 8]);
         }
         let [index_off, index_len, bloom_off, bloom_len, props_off, props_len, _, _] = fields;
         // Index, bloom, and properties are laid out contiguously at the
@@ -554,10 +555,9 @@ impl Table {
             self.fetch_run(&missing[i..j], first, &mut out)?;
             i = j;
         }
-        Ok(out
-            .into_iter()
-            .map(|b| b.expect("every index is cached or fetched"))
-            .collect())
+        out.into_iter()
+            .map(|b| b.ok_or_else(|| Error::corruption("range block neither cached nor fetched")))
+            .collect()
     }
 
     /// Fetches one run of adjacent uncached blocks from storage, parses

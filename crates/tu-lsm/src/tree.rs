@@ -530,12 +530,9 @@ impl TimeTree {
                 // A straddling partition (possible after resizes): widen the
                 // window to cover it so progress is guaranteed, and take
                 // every partition the widened window now covers.
-                let p = lv
-                    .l1
-                    .iter()
-                    .min_by_key(|p| p.range.start)
-                    .cloned()
-                    .expect("l1 non-empty");
+                let Some(p) = lv.l1.iter().min_by_key(|p| p.range.start).cloned() else {
+                    return Ok(()); // L1 emptied concurrently: nothing to move
+                };
                 let window = TimeRange::new(
                     w_start.min(p.range.start),
                     p.range.end.max(w_start + lv.r2_ms),
@@ -1123,7 +1120,8 @@ impl TimeTree {
                                 range,
                                 tables: Vec::new(),
                             });
-                            lv.l2.last_mut().expect("just pushed")
+                            let end = lv.l2.len() - 1;
+                            &mut lv.l2[end]
                         }
                     };
                     part.tables.push(L2Table {

@@ -53,8 +53,8 @@ impl WalRecord {
         }
         Ok(WalRecord {
             checkpoint: body[0] != 0,
-            stream: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
-            seq: u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")),
+            stream: tu_common::bytes::u64_le(&body[1..9]),
+            seq: tu_common::bytes::u64_le(&body[9..17]),
             payload: body[17..].to_vec(),
         })
     }
@@ -116,10 +116,8 @@ impl Wal {
             if off + 8 > bytes.len() {
                 break; // torn tail
             }
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-            let stored = crc::unmask(u32::from_le_bytes(
-                bytes[off + 4..off + 8].try_into().expect("4 bytes"),
-            ));
+            let len = tu_common::bytes::u32_le(&bytes[off..off + 4]) as usize;
+            let stored = crc::unmask(tu_common::bytes::u32_le(&bytes[off + 4..off + 8]));
             let body_start = off + 8;
             if body_start + len > bytes.len() {
                 break; // torn tail

@@ -106,9 +106,9 @@ impl ChunkArena {
             let file = Arc::new(PagedFile::open(self.cache.clone(), path)?);
             let mut head = [0u8; 12];
             file.read_at(0, &mut head)?;
-            let magic = u32::from_le_bytes(head[0..4].try_into().expect("4"));
-            let csize = u32::from_le_bytes(head[4..8].try_into().expect("4"));
-            let cper = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+            let magic = tu_common::bytes::u32_le(&head[0..4]);
+            let csize = tu_common::bytes::u32_le(&head[4..8]);
+            let cper = tu_common::bytes::u32_le(&head[8..12]);
             if magic != MAGIC {
                 return Err(Error::corruption("chunk arena file has bad magic"));
             }
@@ -167,7 +167,10 @@ impl ChunkArena {
         if inner.free_list.is_empty() {
             self.add_file(&mut inner)?;
         }
-        let handle = inner.free_list.pop().expect("refilled above");
+        let handle = inner
+            .free_list
+            .pop()
+            .ok_or_else(|| Error::corruption("chunk arena free list empty after growth"))?;
         let af = &mut inner.files[handle.file as usize];
         af.bitmap[handle.slot as usize / 8] |= 1 << (handle.slot % 8);
         af.live += 1;

@@ -31,7 +31,9 @@ macro_rules! impl_element {
             }
             #[inline]
             fn read_from(buf: &[u8]) -> Self {
-                <$t>::from_le_bytes(buf[..$w].try_into().expect("width checked"))
+                let mut a = [0u8; $w];
+                a.copy_from_slice(&buf[..$w]);
+                <$t>::from_le_bytes(a)
             }
         }
     };
@@ -96,7 +98,7 @@ impl<T: Element> SegArray<T> {
             if bytes.len() != 8 {
                 return Err(Error::corruption("segment array length sidecar damaged"));
             }
-            *arr.len.write() = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+            *arr.len.write() = tu_common::bytes::u64_le(&bytes);
         }
         Ok(arr)
     }

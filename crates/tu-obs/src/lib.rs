@@ -67,7 +67,7 @@ pub use export::{
 pub use flight::{flight, FlightEvent, FlightPhase, FlightRecorder};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use snapshot::MetricsSnapshot;
-pub use spans::{span, span_of, SpanTimer};
+pub use spans::{span, span_of, SpanTimer, Stopwatch};
 pub use trace::{traced, SpanDelta, TraceContext, TraceHandle, TraceSummary, TracedCounter};
 
 /// The process-wide default registry every instrumented crate records to.

@@ -77,6 +77,38 @@ impl Drop for SpanTimer {
     }
 }
 
+/// A plain monotonic stopwatch for call sites that need an elapsed-time
+/// *value* rather than a recorded span — e.g. `QueryProfile::wall_ns` or a
+/// bench report's throughput line.
+///
+/// This is the sanctioned way for non-observability crates to measure
+/// wall time: the workspace lint (`tu-lint`, rule `clock-discipline`)
+/// bans direct `Instant::now()` outside tu-obs/tu-bench so simulated-time
+/// code can't accidentally mix wall-clock into model time.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Elapsed seconds as a float, for human-facing rate reports.
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +148,16 @@ mod tests {
             let _g = crate::span!("macro_test_span");
         }
         assert!(crate::global().histogram("span.macro_test_span.ns").count() >= 1);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = sw.elapsed_ns();
+        assert!(b > a, "elapsed must advance: {a} -> {b}");
+        assert!(sw.elapsed_secs_f64() >= 0.001);
     }
 
     #[test]

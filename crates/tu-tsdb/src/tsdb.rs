@@ -126,8 +126,8 @@ pub struct Tsdb {
     next_series: Mutex<u64>,
     next_block: Mutex<u64>,
     cache: Arc<BlockCache>,
-    obs_samples: &'static tu_obs::Counter,
-    obs_queries: &'static tu_obs::Counter,
+    obs_samples: tu_obs::TracedCounter,
+    obs_queries: tu_obs::TracedCounter,
 }
 
 impl Tsdb {
@@ -143,8 +143,8 @@ impl Tsdb {
             next_block: Mutex::new(0),
             cache,
             opts,
-            obs_samples: tu_obs::counter("tsdb.ingest.samples"),
-            obs_queries: tu_obs::counter("tsdb.query.requests"),
+            obs_samples: tu_obs::traced("tsdb.ingest.samples"),
+            obs_queries: tu_obs::traced("tsdb.query.requests"),
         })
     }
 
@@ -597,6 +597,28 @@ mod tests {
 
     fn labels(pairs: &[(&str, &str)]) -> Labels {
         Labels::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn ingest_and_query_counters_attribute_to_trace_contexts() {
+        // The tsdb.* counters are TracedCounters (counter-discipline), so a
+        // scoped TraceContext must see exactly the samples/queries charged
+        // inside it — the same attribution invariant `query_profiled`
+        // relies on for the TU engine.
+        let (_d, t) = engine(false);
+        let l = labels(&[("metric", "mem"), ("host", "h9")]);
+        let ctx = tu_obs::TraceContext::start("tsdb-unit");
+        let id = t.put(&l, 1_000, 0.5).unwrap();
+        t.put_by_id(id, 2_000, 0.6).unwrap();
+        t.query(&[Selector::exact("metric", "mem")], 0, HOUR)
+            .unwrap();
+        let summary = ctx.finish();
+        assert_eq!(summary.counter("tsdb.ingest.samples"), 2);
+        assert_eq!(summary.counter("tsdb.query.requests"), 1);
+        // Outside any context the same counters keep charging only the
+        // global registry.
+        t.put_by_id(id, 3_000, 0.7).unwrap();
+        assert_eq!(summary.counter("tsdb.ingest.samples"), 2);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|m| Labels::from_pairs([("metric", m.as_str())]))
         .collect();
     let mut handles = Vec::new();
-    let t0 = std::time::Instant::now();
+    let t0 = tu_obs::Stopwatch::start();
     for host in 0..gen.options().hosts {
         let (gid, refs) = db.put_group(
             &gen.host_labels(host),
@@ -55,30 +55,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             db.put_group_fast(*gid, refs, t, &gen.host_row(host, step))?;
         }
     }
-    let ingest = t0.elapsed();
+    let ingest_s = t0.elapsed_secs_f64();
     println!(
-        "ingested in {:.2?} ({:.0} samples/s)",
-        ingest,
-        gen.total_samples() as f64 / ingest.as_secs_f64()
+        "ingested in {:.2}s ({:.0} samples/s)",
+        ingest_s,
+        gen.total_samples() as f64 / ingest_s
     );
     db.sync()?;
 
     // Dashboard queries: every Table 2 pattern, MAX per 5-minute window.
     for pattern in QueryPattern::table2() {
         let spec = pattern.spec(&gen, 3);
-        let t0 = std::time::Instant::now();
+        let t0 = tu_obs::Stopwatch::start();
         let result = db.query(&spec.selectors, spec.start, spec.end)?;
-        let elapsed = t0.elapsed();
+        let elapsed_s = t0.elapsed_secs_f64();
         let windows: usize = result
             .iter()
             .map(|s| aggregate_max(&s.samples, spec.start, spec.end, spec.step_ms).len())
             .sum();
         println!(
-            "{:10} -> {} series, {} aggregated windows, {:?}",
+            "{:10} -> {} series, {} aggregated windows, {:.2}ms",
             pattern.name(),
             result.len(),
             windows,
-            elapsed
+            elapsed_s * 1e3
         );
     }
 

@@ -1,0 +1,50 @@
+//! Tier-1 gate: the workspace must pass `tu-lint` with zero unallowed
+//! findings, so `cargo test` enforces the same discipline rules as
+//! `cargo run -p tu-lint` and the CI lint job.
+//!
+//! The rules and their rationale are documented in
+//! `docs/STATIC_ANALYSIS.md`; suppress a finding with a preceding
+//! `// tu-lint: allow(<rule>): <reason>` comment.
+
+#[test]
+fn workspace_has_zero_unallowed_lint_findings() {
+    let root = tu_lint::workspace_root();
+    let report = tu_lint::lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+    let findings: Vec<String> = report
+        .unallowed()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "tu-lint found {} unallowed finding(s):\n{}\n\
+         Fix the violation or document an invariant with \
+         `// tu-lint: allow(<rule>): <reason>` (see docs/STATIC_ANALYSIS.md).",
+        findings.len(),
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn stale_allow_directives_are_reported() {
+    // Unused allows don't fail the build, but surface them in test output
+    // so they get cleaned up rather than rotting.
+    let report = tu_lint::lint_workspace(&tu_lint::workspace_root()).expect("workspace readable");
+    for a in &report.unused_allows {
+        eprintln!(
+            "note: unused `tu-lint: allow({})` at {}:{}",
+            a.rule, a.file, a.line
+        );
+    }
+    // The tree currently carries no allow directives at all; if one is
+    // added with good reason this bound just moves.
+    assert!(
+        report.unused_allows.len() <= 5,
+        "too many stale allow directives: {:?}",
+        report.unused_allows
+    );
+}
