@@ -23,6 +23,11 @@
 //! Prometheus text exposition format, and `--trace-out <path>` enables the
 //! flight recorder for the whole run and writes the drained events as a
 //! chrome://tracing `trace_event` JSON array.
+//!
+//! `--serve <addr>` exposes the process-wide registry live over HTTP for
+//! the duration of the run (`/metrics`, `/vitals`, …) — experiments create
+//! and drop many engines, so health is reported as always-ok and the
+//! vitals monitor samples on wall-clock.
 
 mod analysis;
 mod fig1;
@@ -81,6 +86,7 @@ struct Args {
     json: bool,
     trace_out: Option<String>,
     prom_out: Option<String>,
+    serve: Option<String>,
     cmd: String,
 }
 
@@ -90,6 +96,7 @@ fn parse_args(args: &[String]) -> Args {
         json: false,
         trace_out: None,
         prom_out: None,
+        serve: None,
         cmd: "all".to_string(),
     };
     let mut it = args.iter();
@@ -107,6 +114,8 @@ fn parse_args(args: &[String]) -> Args {
             out.trace_out = Some(v);
         } else if let Some(v) = value_of("--prom-out") {
             out.prom_out = Some(v);
+        } else if let Some(v) = value_of("--serve") {
+            out.serve = Some(v);
         } else if !a.starts_with("--") {
             out.cmd = a.clone();
         } else {
@@ -128,6 +137,26 @@ fn main() {
     if args.trace_out.is_some() {
         tu_obs::flight().enable(FLIGHT_CAPACITY);
     }
+    // A process-level live plane: experiments open and close many engines,
+    // so the server carries always-ok health and a wall-clock monitor
+    // rather than any single engine's state.
+    let server = args.serve.as_ref().map(|addr| {
+        let monitor = std::sync::Arc::new(tu_obs::Monitor::new(tu_obs::MonitorOptions::default()));
+        monitor.start();
+        let server = tu_obs::ObsServer::bind(
+            addr.as_str(),
+            tu_obs::ServeSources {
+                health: std::sync::Arc::new(tu_obs::HealthReport::ok),
+                monitor: Some(std::sync::Arc::clone(&monitor)),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("live endpoints on http://{}", server.local_addr());
+        (server, monitor)
+    });
     if let Err(e) = run(&args.cmd, scale) {
         eprintln!("experiment {} failed: {e}", args.cmd);
         std::process::exit(1);
@@ -170,6 +199,10 @@ fn main() {
             "chrome trace written to {path} ({} events, {dropped} dropped)",
             events.len()
         );
+    }
+    if let Some((server, monitor)) = server {
+        server.shutdown();
+        monitor.stop();
     }
 }
 

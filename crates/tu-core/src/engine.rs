@@ -65,6 +65,11 @@ pub struct Options {
     /// else available parallelism capped at 8). Results are identical for
     /// every thread count; see [`TimeUnion::set_query_threads`].
     pub query_threads: usize,
+    /// Address for the live observability endpoint (e.g.
+    /// `"127.0.0.1:9090"`; port `0` picks a free port). `None` serves
+    /// nothing. Consulted by [`TimeUnion::serve_if_configured`], where the
+    /// `TU_SERVE_ADDR` environment variable overrides this field.
+    pub serve_addr: Option<String>,
 }
 
 impl Default for Options {
@@ -84,6 +89,7 @@ impl Default for Options {
             inline_maintenance: true,
             clock: system_clock(),
             query_threads: 0,
+            serve_addr: None,
         }
     }
 }
@@ -119,6 +125,10 @@ struct PendingCheckpoint {
     epoch: u64,
 }
 
+/// Pending checkpoints past this mark flag the `flush_backlog` health
+/// check as degraded: maintenance is falling behind ingest.
+const PENDING_CKPT_DEGRADED: usize = 1 << 16;
+
 /// The TimeUnion timeseries engine.
 pub struct TimeUnion {
     dir: PathBuf,
@@ -144,7 +154,14 @@ pub struct TimeUnion {
     pending_ckpts: Mutex<Vec<PendingCheckpoint>>,
     wal_unflushed: AtomicU64,
     replaying: std::sync::atomic::AtomicBool,
+    /// False after the most recent WAL flush failed; drives the `wal`
+    /// health check (an engine that cannot persist its log is unhealthy).
+    wal_ok: std::sync::atomic::AtomicBool,
+    /// Set by [`TimeUnion::begin_shutdown`]; flips `/healthz` and
+    /// `/readyz` so load balancers drain the instance before drop.
+    shutting_down: std::sync::atomic::AtomicBool,
     worker: Mutex<Option<Worker>>,
+    serve: Mutex<Option<ServePlane>>,
     /// Resolved query fan-out width; runtime-adjustable so benchmarks can
     /// sweep thread counts against one engine instance.
     query_threads: std::sync::atomic::AtomicUsize,
@@ -175,6 +192,13 @@ impl EngineObs {
 struct Worker {
     stop: crossbeam::channel::Sender<()>,
     join: std::thread::JoinHandle<()>,
+}
+
+/// The live observability plane of one serving engine: the HTTP server
+/// plus the monitor sampling windowed vitals behind `/vitals`.
+struct ServePlane {
+    server: tu_obs::ObsServer,
+    monitor: Arc<tu_obs::Monitor>,
 }
 
 impl TimeUnion {
@@ -240,7 +264,10 @@ impl TimeUnion {
             pending_ckpts: Mutex::new(Vec::new()),
             wal_unflushed: AtomicU64::new(0),
             replaying: std::sync::atomic::AtomicBool::new(false),
+            wal_ok: std::sync::atomic::AtomicBool::new(true),
+            shutting_down: std::sync::atomic::AtomicBool::new(false),
             worker: Mutex::new(None),
+            serve: Mutex::new(None),
             query_threads: std::sync::atomic::AtomicUsize::new(
                 tu_common::pool::WorkerPool::resolve(opts.query_threads).threads(),
             ),
@@ -250,7 +277,175 @@ impl TimeUnion {
         tu_obs::gauge("core.query.parallel.threads")
             .set(engine.query_threads.load(Ordering::Relaxed) as i64);
         engine.recover()?;
+        tu_obs::log::info(
+            "core.open",
+            "engine recovered",
+            &[
+                ("series", engine.series_count().into()),
+                ("groups", engine.group_count().into()),
+            ],
+        );
         Ok(engine)
+    }
+
+    // --- live observability plane ----------------------------------------------
+
+    /// Starts the embedded observability endpoint if configured: the
+    /// `TU_SERVE_ADDR` environment variable wins, then
+    /// [`Options::serve_addr`]. Returns the bound address, or `None` when
+    /// neither is set.
+    pub fn serve_if_configured(self: &Arc<Self>) -> Result<Option<std::net::SocketAddr>> {
+        let addr = match std::env::var("TU_SERVE_ADDR") {
+            Ok(v) if !v.is_empty() => Some(v),
+            _ => self.opts.serve_addr.clone(),
+        };
+        match addr {
+            Some(addr) => self.start_serving(&addr).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Binds the live endpoint on `addr` (port `0` picks a free port) and
+    /// starts the vitals monitor. `/healthz`, `/readyz`, and `/vitals`
+    /// reflect this engine; `/metrics`, `/metrics.json`, and `/flight`
+    /// expose the process-global registry and flight recorder. Idempotent:
+    /// a second call returns the already-bound address.
+    pub fn start_serving(self: &Arc<Self>, addr: &str) -> Result<std::net::SocketAddr> {
+        let mut serve = self.serve.lock();
+        if let Some(plane) = serve.as_ref() {
+            return Ok(plane.server.local_addr());
+        }
+        let clock = self.opts.clock.clone();
+        let monitor = Arc::new(tu_obs::Monitor::new(tu_obs::MonitorOptions {
+            now_ms: Some(Arc::new(move || clock.now_ms())),
+            ..Default::default()
+        }));
+        monitor.start();
+        // The health closure holds a weak reference: the server must not
+        // keep a dropped engine alive, and a request racing engine drop
+        // reports "closed" instead of dangling.
+        let weak = Arc::downgrade(self);
+        let health: tu_obs::HealthSource = Arc::new(move || match weak.upgrade() {
+            Some(engine) => engine.health_report(),
+            None => tu_obs::HealthReport {
+                ready: false,
+                checks: vec![tu_obs::HealthCheck::new(
+                    "engine",
+                    tu_obs::Health::Unhealthy,
+                    "closed",
+                )],
+            },
+        });
+        let server = tu_obs::ObsServer::bind(
+            addr,
+            tu_obs::ServeSources {
+                health,
+                monitor: Some(Arc::clone(&monitor)),
+            },
+        )?;
+        let local = server.local_addr();
+        tu_obs::log::info(
+            "core.serve",
+            "observability endpoint listening",
+            &[("addr", local.to_string().into())],
+        );
+        *serve = Some(ServePlane { server, monitor });
+        Ok(local)
+    }
+
+    /// Stops the live endpoint and its monitor, if serving. Idempotent;
+    /// also runs on drop.
+    pub fn stop_serving(&self) {
+        if let Some(plane) = self.serve.lock().take() {
+            plane.server.shutdown();
+            plane.monitor.stop();
+        }
+    }
+
+    /// The vitals monitor of the live endpoint, while serving.
+    pub fn monitor(&self) -> Option<Arc<tu_obs::Monitor>> {
+        self.serve.lock().as_ref().map(|p| Arc::clone(&p.monitor))
+    }
+
+    /// Marks the engine as draining: `/readyz` and `/healthz` start
+    /// answering 503 so orchestrators stop routing to it, while queries
+    /// and inserts keep working until drop.
+    pub fn begin_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            tu_obs::log::info("core.shutdown", "engine draining", &[]);
+        }
+    }
+
+    /// Aggregates the engine's liveness signals. Cheap (atomic loads and
+    /// two short lock holds) — called per `/healthz` request.
+    pub fn health_report(&self) -> tu_obs::HealthReport {
+        use tu_obs::{Health, HealthCheck};
+        let mut checks = Vec::with_capacity(4);
+        let shutting_down = self.shutting_down.load(Ordering::SeqCst);
+        if shutting_down {
+            checks.push(HealthCheck::new(
+                "shutdown",
+                Health::Unhealthy,
+                "engine draining",
+            ));
+        }
+        let wal_ok = self.wal_ok.load(Ordering::SeqCst);
+        checks.push(HealthCheck::new(
+            "wal",
+            if wal_ok {
+                Health::Ok
+            } else {
+                Health::Unhealthy
+            },
+            if wal_ok {
+                "writable"
+            } else {
+                "last flush failed"
+            },
+        ));
+        // Checkpoints waiting on a memtable flush: a growing backlog means
+        // maintenance is not keeping up with ingest.
+        let backlog = self.pending_ckpts.lock().len();
+        checks.push(HealthCheck::new(
+            "flush_backlog",
+            if backlog > PENDING_CKPT_DEGRADED {
+                Health::Degraded
+            } else {
+                Health::Ok
+            },
+            format!("{backlog} pending checkpoints"),
+        ));
+        // Memtable pressure: sealed-but-unflushed data piling up well past
+        // the configured budget.
+        let memtable = self.tree.memtable_bytes();
+        let budget = self.opts.tree.memtable_bytes.max(1);
+        checks.push(HealthCheck::new(
+            "memtable",
+            if memtable > budget.saturating_mul(8) {
+                Health::Degraded
+            } else {
+                Health::Ok
+            },
+            format!("{memtable} B buffered (budget {budget} B)"),
+        ));
+        // A maintenance worker that exited without being stopped is dead
+        // weight: nothing will flush or checkpoint again.
+        if let Some(w) = self.worker.lock().as_ref() {
+            let finished = w.join.is_finished();
+            checks.push(HealthCheck::new(
+                "maintenance_worker",
+                if finished {
+                    Health::Unhealthy
+                } else {
+                    Health::Ok
+                },
+                if finished { "exited" } else { "running" },
+            ));
+        }
+        tu_obs::HealthReport {
+            ready: !shutting_down && !self.replaying.load(Ordering::SeqCst),
+            checks,
+        }
     }
 
     /// Spawns the background maintenance worker: flushes, compactions, WAL
@@ -276,9 +471,35 @@ impl TimeUnion {
                     return;
                 };
                 // Maintenance failures must not kill the worker; the next
-                // foreground sync() will surface persistent errors.
-                let _ = engine.maintain();
-                let _ = engine.apply_retention();
+                // foreground sync() will surface persistent errors, but
+                // each failure is logged (rate-limited per target).
+                if let Err(e) = engine.maintain() {
+                    tu_obs::log::warn(
+                        "core.maintain",
+                        "background maintenance failed",
+                        &[("error", e.to_string().into())],
+                    );
+                }
+                match engine.apply_retention() {
+                    Ok((partitions, objects)) if partitions + objects > 0 => {
+                        tu_obs::log::info(
+                            "core.retention",
+                            "retention purged data",
+                            &[
+                                ("partitions", partitions.into()),
+                                ("objects", objects.into()),
+                            ],
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        tu_obs::log::warn(
+                            "core.retention",
+                            "retention pass failed",
+                            &[("error", e.to_string().into())],
+                        );
+                    }
+                }
             })?;
         *worker = Some(Worker {
             stop: stop_tx,
@@ -719,9 +940,30 @@ impl TimeUnion {
         let n = self.wal_unflushed.fetch_add(1, Ordering::Relaxed) + 1;
         if n as usize >= self.opts.wal_batch_records {
             self.wal_unflushed.store(0, Ordering::Relaxed);
-            self.wal.flush()?;
+            self.flush_wal()?;
         }
         Ok(())
+    }
+
+    /// Flushes the WAL, mirroring the outcome into the `wal` health check
+    /// (and logging the first failure of a failure streak).
+    fn flush_wal(&self) -> Result<()> {
+        match self.wal.flush() {
+            Ok(()) => {
+                self.wal_ok.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(e) => {
+                if self.wal_ok.swap(false, Ordering::SeqCst) {
+                    tu_obs::log::error(
+                        "core.wal",
+                        "WAL flush failed",
+                        &[("error", e.to_string().into())],
+                    );
+                }
+                Err(e)
+            }
+        }
     }
 
     // --- maintenance --------------------------------------------------------------
@@ -748,7 +990,7 @@ impl TimeUnion {
                     payload: Vec::new(),
                 });
             }
-            self.wal.flush()?;
+            self.flush_wal()?;
             if self.wal.len() > self.opts.wal_purge_bytes {
                 self.wal.purge()?;
             }
@@ -792,7 +1034,7 @@ impl TimeUnion {
 
     /// Flushes logs/indexes; call before dropping for durability.
     pub fn sync(&self) -> Result<()> {
-        self.wal.flush()?;
+        self.flush_wal()?;
         self.catalog.flush()?;
         self.index.sync()?;
         self.maintain()
@@ -1113,6 +1355,7 @@ impl TimeUnion {
 
 impl Drop for TimeUnion {
     fn drop(&mut self) {
+        self.stop_serving();
         self.stop_background();
     }
 }
@@ -1495,6 +1738,45 @@ mod tests {
             .unwrap();
         assert_eq!(res[0].samples.len(), 3_000);
         e.stop_background();
+    }
+
+    #[test]
+    fn health_report_tracks_engine_state() {
+        let (_d, e) = engine();
+        let r = e.health_report();
+        assert!(r.ready);
+        assert!(r.healthy());
+        assert!(r.checks.iter().any(|c| c.name == "wal"));
+        assert!(r.checks.iter().any(|c| c.name == "flush_backlog"));
+        assert!(r.checks.iter().any(|c| c.name == "memtable"));
+        // Draining flips both readiness and health.
+        e.begin_shutdown();
+        let r = e.health_report();
+        assert!(!r.ready);
+        assert!(!r.healthy());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "shutdown" && c.health == tu_obs::Health::Unhealthy));
+    }
+
+    #[test]
+    fn serve_plane_binds_and_stops() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut o = opts();
+        o.serve_addr = Some("127.0.0.1:0".to_string());
+        let e = Arc::new(TimeUnion::open(dir.path().join("db"), o).unwrap());
+        let addr = e.serve_if_configured().unwrap().expect("configured");
+        assert!(addr.port() != 0, "port 0 resolves to a real port");
+        // Idempotent: a second call reuses the bound plane.
+        assert_eq!(e.start_serving("127.0.0.1:0").unwrap(), addr);
+        assert!(e.monitor().is_some());
+        e.stop_serving();
+        assert!(e.monitor().is_none());
+        // And nothing serves when not configured.
+        let dir2 = tempfile::tempdir().unwrap();
+        let e2 = Arc::new(TimeUnion::open(dir2.path().join("db"), opts()).unwrap());
+        assert!(e2.serve_if_configured().unwrap().is_none());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * **panic-discipline** — no `unwrap`/`expect`/`panic!` in non-test code
 //!   of the storage crates; corruption and I/O failures must propagate as
 //!   `tu_common::Error`, not abort a query thread.
+//! * **print-discipline** — no `println!`/`eprintln!`/`dbg!` in non-test
+//!   library code of the engine crates; diagnostics must go through the
+//!   structured event log (`tu_obs::log`) or a returned error so they are
+//!   leveled, rate-limited, and trace-correlated instead of raw stdio.
 //! * **unsafe-audit** — every `unsafe` must carry a `// SAFETY:` comment
 //!   justifying it.
 //!
@@ -34,6 +38,12 @@ pub const COUNTER_CRATES: &[&str] = &["tu-cloud", "tu-lsm", "tu-core", "tu-tsdb"
 /// itself, observability timing, benches, and this lint tool.
 pub const CLOCK_ALLOW_CRATES: &[&str] = &["tu-obs", "tu-bench", "tu-lint"];
 
+/// Crates where print-discipline applies: engine library code must emit
+/// diagnostics through `tu_obs::log`, never raw stdio. Benches, examples,
+/// the lint tool itself, and `tu-obs` (which owns the stderr sink) are
+/// exempt by omission.
+pub const PRINT_CRATES: &[&str] = &["tu-cloud", "tu-lsm", "tu-core", "tu-mmap", "tu-tsdb"];
+
 /// Individual files allowed to touch wall-clock time.
 pub const CLOCK_ALLOW_FILES: &[&str] = &["crates/tu-common/src/clock.rs"];
 
@@ -42,6 +52,7 @@ pub const ALL_RULES: &[&str] = &[
     "clock-discipline",
     "counter-discipline",
     "panic-discipline",
+    "print-discipline",
     "unsafe-audit",
 ];
 
@@ -59,6 +70,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<AllowDirecti
     clock_discipline(&file, &mut raw);
     counter_discipline(&file, &mut raw);
     panic_discipline(&file, &mut raw);
+    print_discipline(&file, &mut raw);
     unsafe_audit(&file, &mut raw);
     raw.sort_by_key(|f| (f.line, f.rule));
     apply_allows(rel_path, raw, file.allows)
@@ -427,6 +439,38 @@ fn panic_discipline(file: &FileView, out: &mut Vec<Finding>) {
     }
 }
 
+/// print-discipline: `println!` / `eprintln!` / `dbg!` (and their
+/// non-newline variants) in non-test library code of the engine crates.
+fn print_discipline(file: &FileView, out: &mut Vec<Finding>) {
+    if !PRINT_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    const MACROS: &[&str] = &["print", "println", "eprint", "eprintln", "dbg"];
+    for k in 0..file.code.len() {
+        if file.in_test_region(k) {
+            continue;
+        }
+        // `name` immediately followed by `!` is a macro invocation whether
+        // written bare (`println!`) or as a path tail (`std::println!`).
+        if !file.is_punct(k + 1, b'!') {
+            continue;
+        }
+        let Some(name) = MACROS.iter().find(|m| file.is_ident(k, m)) else {
+            continue;
+        };
+        out.push(finding(
+            file,
+            "print-discipline",
+            k,
+            format!(
+                "`{name}!` in engine-crate non-test code; emit a structured \
+                 event via `tu_obs::log` (leveled, rate-limited, \
+                 trace-correlated) or return an error instead of raw stdio"
+            ),
+        ));
+    }
+}
+
 /// unsafe-audit: every `unsafe` needs a nearby preceding `// SAFETY:`.
 fn unsafe_audit(file: &FileView, out: &mut Vec<Finding>) {
     for k in 0..file.code.len() {
@@ -603,6 +647,69 @@ mod tests {
     fn panic_in_macro_like_strings_not_flagged() {
         let src = r#"fn f() { let msg = "do not panic!(now)"; let _ = msg; }"#;
         assert!(unallowed("crates/tu-core/src/engine.rs", src).is_empty());
+    }
+
+    // ---- print-discipline ----
+
+    #[test]
+    fn print_flags_stdio_macros_in_engine_crates() {
+        let src = r#"
+fn f(x: u32) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+    let y = dbg!(x + 1);
+    std::print!("{y}");
+}
+"#;
+        let fs = unallowed("crates/tu-core/src/engine.rs", src);
+        assert_eq!(fs.len(), 4, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "print-discipline"));
+        assert_eq!(fs[0].line, 3);
+        assert_eq!(fs[3].line, 6);
+    }
+
+    #[test]
+    fn print_permits_test_code_and_exempt_crates() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!("debug output is fine in tests"); }
+}
+"#;
+        assert!(unallowed("crates/tu-lsm/src/tree.rs", src).is_empty());
+        let lib = "fn f() { println!(\"benches narrate freely\"); }";
+        assert!(unallowed("crates/tu-bench/src/report.rs", lib).is_empty());
+        assert!(unallowed("crates/tu-obs/src/log.rs", lib).is_empty());
+        assert!(unallowed("examples/quickstart.rs", lib).is_empty());
+    }
+
+    #[test]
+    fn print_ignores_comments_strings_and_non_macro_idents() {
+        let src = r#"
+// println! is banned here, which this comment may say out loud.
+fn f(w: &mut impl std::fmt::Write) -> std::fmt::Result {
+    let msg = "println!(not code)";
+    writeln!(w, "{msg}")
+}
+fn print(x: u32) -> u32 { x }
+fn g() -> u32 { print(7) }
+"#;
+        assert!(unallowed("crates/tu-cloud/src/object.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_allow_directive_suppresses() {
+        let src = r#"
+fn f() {
+    // tu-lint: allow(print-discipline): one-shot startup banner
+    eprintln!("starting");
+}
+"#;
+        let all = lint_at("crates/tu-tsdb/src/tsdb.rs", src);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].allowed);
+        assert_eq!(all[0].reason.as_deref(), Some("one-shot startup banner"));
     }
 
     // ---- unsafe-audit ----

@@ -297,7 +297,10 @@ impl TimeTree {
                 .or_default()
                 .push((k.to_vec(), v.to_vec()));
         }
+        let partitions = buckets.len();
+        let mut entries_flushed = 0usize;
         for (slot, entries) in buckets {
+            entries_flushed += entries.len();
             let range = TimeRange::new(slot * r1, (slot + 1) * r1);
             let metas = self.build_tables(&entries, 0, range)?;
             let mut lv = self.levels.lock();
@@ -313,6 +316,14 @@ impl TimeTree {
             }
         }
         self.stats.lock().flushes += 1;
+        tu_obs::log::info(
+            "lsm.flush",
+            "memtable flushed to L0",
+            &[
+                ("entries", entries_flushed.into()),
+                ("partitions", partitions.into()),
+            ],
+        );
         Ok(())
     }
 
@@ -488,6 +499,15 @@ impl TimeTree {
         if stale {
             stats.stale_l0_merges += 1;
         }
+        drop(stats);
+        tu_obs::log::info(
+            "lsm.compact",
+            "L0->L1 compaction",
+            &[
+                ("input_tables", all_tables.len().into()),
+                ("stale", stale.into()),
+            ],
+        );
         Ok(())
     }
 
@@ -625,6 +645,15 @@ impl TimeTree {
             self.delete_table(meta)?;
         }
         self.stats.lock().l1_to_l2_compactions += 1;
+        tu_obs::log::info(
+            "lsm.compact",
+            "L1->L2 merge-and-upload",
+            &[
+                ("input_tables", tables.len().into()),
+                ("window_start", window.start.into()),
+                ("window_end", window.end.into()),
+            ],
+        );
         Ok(())
     }
 

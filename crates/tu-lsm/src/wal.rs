@@ -112,21 +112,34 @@ impl Wal {
         };
         let mut out = Vec::new();
         let mut off = 0usize;
+        let torn = |off: usize| {
+            tu_obs::log::warn(
+                "lsm.wal",
+                "torn WAL tail dropped during replay",
+                &[
+                    ("offset", off.into()),
+                    ("lost_bytes", (bytes.len() - off).into()),
+                ],
+            );
+        };
         while off < bytes.len() {
             if off + 8 > bytes.len() {
-                break; // torn tail
+                torn(off);
+                break;
             }
             let len = tu_common::bytes::u32_le(&bytes[off..off + 4]) as usize;
             let stored = crc::unmask(tu_common::bytes::u32_le(&bytes[off + 4..off + 8]));
             let body_start = off + 8;
             if body_start + len > bytes.len() {
-                break; // torn tail
+                torn(off);
+                break;
             }
             let body = &bytes[body_start..body_start + len];
             if crc::crc32c(body) != stored {
                 // A checksum mismatch that is not at the torn tail means
                 // real corruption.
                 if body_start + len == bytes.len() {
+                    torn(off);
                     break;
                 }
                 return Err(Error::corruption("wal record checksum mismatch"));
@@ -173,6 +186,14 @@ impl Wal {
             let data = self.store.read_file(&tmp)?;
             self.store.write_file(&self.name, &data)?;
             self.store.delete(&tmp)?;
+            tu_obs::log::info(
+                "lsm.wal",
+                "WAL purged",
+                &[
+                    ("dropped_records", dropped.into()),
+                    ("kept_bytes", kept.len().into()),
+                ],
+            );
         }
         Ok(dropped)
     }

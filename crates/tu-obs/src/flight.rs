@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::registry::Gauge;
+
 /// How an event marks time, mapping onto chrome `trace_event` phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlightPhase {
@@ -71,6 +73,11 @@ pub struct FlightRecorder {
     enabled: AtomicBool,
     seq: AtomicU64,
     ring: Mutex<Ring>,
+    /// Mirrors `Ring::dropped` into the registry as
+    /// `obs.flight.dropped_events`, so ring overflow shows up in /metrics
+    /// instead of only via [`FlightRecorder::dropped`]. A gauge, not a
+    /// counter: it resets with each [`FlightRecorder::enable`].
+    dropped_gauge: &'static Gauge,
 }
 
 /// The process-wide flight recorder.
@@ -85,6 +92,7 @@ pub fn flight() -> &'static FlightRecorder {
             dropped: 0,
             epoch: None,
         }),
+        dropped_gauge: crate::gauge("obs.flight.dropped_events"),
     })
 }
 
@@ -106,6 +114,7 @@ impl FlightRecorder {
         ring.buf.clear();
         ring.capacity = capacity.max(16);
         ring.dropped = 0;
+        self.dropped_gauge.set(0);
         ring.epoch = Some(Instant::now());
         self.seq.store(0, Ordering::Relaxed);
         self.enabled.store(true, Ordering::Release);
@@ -157,6 +166,7 @@ impl FlightRecorder {
         if ring.buf.len() >= ring.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
+            self.dropped_gauge.set(ring.dropped as i64);
         }
         ring.buf.push_back(FlightEvent {
             seq,
@@ -192,14 +202,20 @@ impl FlightRecorder {
     }
 }
 
+/// Serializes tests (across modules) that mutate the global recorder.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // The recorder is global state shared by every test in this binary, so
-    // all flight tests live in this one serialized function.
+    // all flight tests live in this one serialized function, under the
+    // cross-module lock (the serve tests drain the recorder too).
     #[test]
     fn recorder_lifecycle() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let f = flight();
 
         // Disabled: recording is a no-op.
@@ -233,12 +249,26 @@ mod tests {
         }
         assert_eq!(f.len(), 16);
         assert_eq!(f.dropped(), 24);
+        // Overflow is mirrored into the registry so /metrics shows it.
+        assert_eq!(
+            crate::global()
+                .snapshot()
+                .gauge("obs.flight.dropped_events"),
+            Some(24)
+        );
         let tail = f.drain();
         assert_eq!(tail.first().unwrap().name, "e24");
         assert_eq!(tail.last().unwrap().name, "e39");
 
         // Events inherit the innermost trace context's id and label.
         f.enable(16);
+        // Re-enabling resets the overflow gauge along with the ring.
+        assert_eq!(
+            crate::global()
+                .snapshot()
+                .gauge("obs.flight.dropped_events"),
+            Some(0)
+        );
         {
             let ctx = crate::trace::TraceContext::start("flight-test");
             f.instant("inside");

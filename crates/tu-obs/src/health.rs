@@ -1,0 +1,165 @@
+//! A small health model for live endpoints.
+//!
+//! The engine aggregates its liveness signals (WAL writable, flush
+//! backlog, memory pressure, background-thread liveness) into a
+//! [`HealthReport`]; [`crate::ObsServer`] renders that report on
+//! `/healthz` and `/readyz`. The model deliberately has three states:
+//! `Ok` and `Degraded` still answer 200 on `/healthz` (degraded means
+//! "watch me", not "restart me"), only `Unhealthy` answers 503.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::snapshot::escape;
+
+/// One check's verdict, worst-wins when aggregating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    Ok,
+    /// Working, but a signal is outside its comfortable range (e.g. flush
+    /// backlog growing). `/healthz` still answers 200.
+    Degraded,
+    /// Not working (WAL unwritable, background worker dead). `/healthz`
+    /// answers 503.
+    Unhealthy,
+}
+
+impl Health {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// One named signal with a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthCheck {
+    pub name: String,
+    pub health: Health,
+    pub detail: String,
+}
+
+impl HealthCheck {
+    pub fn new(name: &str, health: Health, detail: impl Into<String>) -> HealthCheck {
+        HealthCheck {
+            name: name.to_string(),
+            health,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The aggregated report: readiness (serving traffic at all) plus the
+/// individual checks behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `/readyz`: true once the engine has finished recovery and is not
+    /// shutting down. Orthogonal to health — a recovering engine is
+    /// healthy but not ready.
+    pub ready: bool,
+    pub checks: Vec<HealthCheck>,
+}
+
+impl HealthReport {
+    /// An all-ok, ready report (the trivial source for harnesses with no
+    /// engine signals to aggregate).
+    pub fn ok() -> HealthReport {
+        HealthReport {
+            ready: true,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Worst status across checks ([`Health::Ok`] when there are none).
+    pub fn status(&self) -> Health {
+        self.checks
+            .iter()
+            .map(|c| c.health)
+            .max()
+            .unwrap_or(Health::Ok)
+    }
+
+    /// True unless some check is [`Health::Unhealthy`].
+    pub fn healthy(&self) -> bool {
+        self.status() != Health::Unhealthy
+    }
+
+    /// Stable JSON:
+    /// `{"status":"ok","ready":true,"checks":[{"name":..,"status":..,"detail":..},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"status\":\"{}\",\"ready\":{},\"checks\":[",
+            self.status().as_str(),
+            self.ready
+        );
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"status\":\"{}\",\"detail\":\"{}\"}}",
+                escape(&c.name),
+                c.health.as_str(),
+                escape(&c.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "status={} ready={}", self.status().as_str(), self.ready)?;
+        for c in &self.checks {
+            writeln!(f, "  {:<24} {:<10} {}", c.name, c.health.as_str(), c.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// What `/healthz` and `/readyz` call on every request: a closure so the
+/// report always reflects the engine's *current* state, with no sampling
+/// lag. Implementations must be cheap (a few atomic loads) — they run on
+/// server worker threads.
+pub type HealthSource = Arc<dyn Fn() -> HealthReport + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_check_wins() {
+        let mut r = HealthReport::ok();
+        assert_eq!(r.status(), Health::Ok);
+        assert!(r.healthy());
+        r.checks
+            .push(HealthCheck::new("wal", Health::Ok, "writable"));
+        r.checks
+            .push(HealthCheck::new("backlog", Health::Degraded, "7 pending"));
+        assert_eq!(r.status(), Health::Degraded);
+        assert!(r.healthy(), "degraded still passes /healthz");
+        r.checks
+            .push(HealthCheck::new("worker", Health::Unhealthy, "exited"));
+        assert_eq!(r.status(), Health::Unhealthy);
+        assert!(!r.healthy());
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = HealthReport {
+            ready: false,
+            checks: vec![HealthCheck::new("wal", Health::Ok, "writable")],
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\"status\":\"ok\",\"ready\":false,"));
+        assert!(json.contains("{\"name\":\"wal\",\"status\":\"ok\",\"detail\":\"writable\"}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = r.to_string();
+        assert!(text.contains("ready=false"));
+        assert!(text.contains("wal"));
+    }
+}

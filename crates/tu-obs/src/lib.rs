@@ -35,6 +35,15 @@
 //!   snapshots (Prometheus text exposition, re-checkable with
 //!   [`parse_prometheus_text`]) and flight recordings (chrome://tracing
 //!   `trace_event` JSON).
+//! * [`ObsServer`] — a zero-dependency embedded HTTP server exposing the
+//!   live endpoints (`/metrics`, `/metrics.json`, `/flight`, `/healthz`,
+//!   `/readyz`, `/vitals`) on a `std::net::TcpListener`.
+//! * [`Monitor`] — a background sampler keeping a ring of snapshots and
+//!   deriving windowed [`Vitals`] rates via [`MetricsSnapshot::since`].
+//! * [`log`] — a leveled, rate-limited structured event log (JSON lines,
+//!   trace-id-correlated with the flight recorder).
+//! * [`HealthReport`] — aggregated engine health driving `/healthz` and
+//!   `/readyz`.
 //!
 //! Instrumented metric names, units, and the paper figure/equation each
 //! one maps to are catalogued in `docs/OBSERVABILITY.md`.
@@ -55,7 +64,11 @@
 
 mod export;
 mod flight;
+pub mod health;
+pub mod log;
+mod monitor;
 mod registry;
+mod serve;
 mod snapshot;
 mod spans;
 pub mod trace;
@@ -65,7 +78,10 @@ pub use export::{
     PromParsed,
 };
 pub use flight::{flight, FlightEvent, FlightPhase, FlightRecorder};
+pub use health::{Health, HealthCheck, HealthReport, HealthSource};
+pub use monitor::{Monitor, MonitorOptions, TierRates, Vitals};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use serve::{ObsServer, ServeSources};
 pub use snapshot::MetricsSnapshot;
 pub use spans::{span, span_of, SpanTimer, Stopwatch};
 pub use trace::{traced, SpanDelta, TraceContext, TraceHandle, TraceSummary, TracedCounter};

@@ -33,8 +33,14 @@ impl MetricsSnapshot {
     /// Deltas since an earlier snapshot: counters subtract, histograms
     /// subtract count/sum/per-bucket (so per-phase quantiles reflect only
     /// the phase's observations), and gauges — levels, not flows — carry
-    /// over their current value. Metrics absent from `earlier` count from
-    /// zero.
+    /// over their current value.
+    ///
+    /// A metric absent from `earlier` counts from zero: it is reported at
+    /// its full current value, never dropped. Windowed consumers (the
+    /// [`crate::Monitor`] ring) rely on this — metrics register lazily on
+    /// first use, so a metric's first-ever increments routinely land
+    /// between two samples, and losing them would undercount every rate
+    /// derived from that window.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
             .counters
@@ -231,6 +237,26 @@ mod tests {
         assert_eq!(h.count, 4);
         assert_eq!(h.sum, 4_000_000);
         assert_eq!(h.p50(), Some((1u64 << 20) - 1));
+    }
+
+    #[test]
+    fn since_reports_new_in_later_metrics_at_full_value() {
+        let r = Registry::new();
+        r.counter("pre.existing").add(1);
+        let before = r.snapshot();
+        // These three register for the first time *between* the snapshots,
+        // exactly what a monitor window hits when a code path runs for the
+        // first time mid-run.
+        r.counter("born.later.requests").add(9);
+        r.gauge("born.later.level").set(-4);
+        r.histogram("born.later.ns").record(77);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("born.later.requests"), Some(9));
+        assert_eq!(delta.gauge("born.later.level"), Some(-4));
+        let h = delta.histogram("born.later.ns").unwrap();
+        assert_eq!((h.count, h.sum), (1, 77));
+        // And the pre-existing counter still deltas to zero.
+        assert_eq!(delta.counter("pre.existing"), Some(0));
     }
 
     #[test]

@@ -5,15 +5,39 @@
 //! aggregation — the shape of a Grafana dashboard over TimeUnion.
 //!
 //! Run with: `cargo run --release --example devops_monitoring`
+//!
+//! Pass `--serve <addr>` (or set `TU_SERVE_ADDR`) to watch the run live:
+//! `curl http://<addr>/vitals` shows windowed ingest and cloud-request
+//! rates while the fleet streams in.
+
+use std::sync::Arc;
 
 use timeunion::engine::{Options, TimeUnion};
 use timeunion::model::Labels;
 use timeunion::tsbs::{DevOpsGenerator, DevOpsOptions, QueryPattern};
 use tu_core::query::aggregate_max;
 
+/// Value of `--<flag> <v>` or `--<flag>=<v>`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
+    args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix(&eq)
+            .map(|v| v.to_string())
+            .or_else(|| (a == flag).then(|| args.get(i + 1).cloned()).flatten())
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let dir = tempfile::tempdir()?;
-    let db = TimeUnion::open(dir.path().join("db"), Options::default())?;
+    let opts = Options {
+        serve_addr: flag_value(&args, "--serve"),
+        ..Options::default()
+    };
+    let db = Arc::new(TimeUnion::open(dir.path().join("db"), opts)?);
+    if let Some(addr) = db.serve_if_configured()? {
+        println!("live endpoints on http://{addr} — try /metrics /healthz /vitals");
+    }
 
     // A small fleet: 20 hosts x 101 metrics, 2 hours at 30 s scrapes.
     let gen = DevOpsGenerator::new(DevOpsOptions {
@@ -91,5 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.fast_bytes,
         stats.slow_bytes
     );
+    db.begin_shutdown();
+    db.stop_serving();
     Ok(())
 }

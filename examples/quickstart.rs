@@ -7,6 +7,14 @@
 //! `--trace-out <path>` records a flight-recorder timeline and writes it
 //! as chrome://tracing JSON; `--prom-out <path>` writes the final metrics
 //! snapshot in the Prometheus text exposition format.
+//!
+//! Live observability plane: `--serve <addr>` (or `TU_SERVE_ADDR`) starts
+//! the embedded HTTP endpoint — `curl http://<addr>/metrics` while the run
+//! is live. `--serve-hold-ms <ms>` keeps the process serving that long
+//! after the workload so a scraper (CI's smoke job) can probe it, then
+//! exits cleanly.
+
+use std::sync::Arc;
 
 use timeunion::engine::{Options, Selector, TimeUnion};
 use timeunion::model::Labels;
@@ -25,12 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out = flag_value(&args, "--trace-out");
     let prom_out = flag_value(&args, "--prom-out");
+    let hold_ms: u64 = flag_value(&args, "--serve-hold-ms")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0);
     if trace_out.is_some() {
         timeunion::obs::flight().enable(4096);
     }
 
     let dir = tempfile::tempdir()?;
-    let db = TimeUnion::open(dir.path().join("db"), Options::default())?;
+    let opts = Options {
+        serve_addr: flag_value(&args, "--serve"),
+        ..Options::default()
+    };
+    let db = Arc::new(TimeUnion::open(dir.path().join("db"), opts)?);
+    // Binds when --serve or TU_SERVE_ADDR asked for it; port 0 works.
+    if let Some(addr) = db.serve_if_configured()? {
+        println!("live endpoints on http://{addr} — try /metrics /healthz /vitals");
+    }
 
     // --- individual timeseries ------------------------------------------------
     // Slow path: pass the tags; the engine returns the series ID.
@@ -122,5 +142,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, timeunion::obs::chrome_trace_json(&events))?;
         println!("chrome trace written to {path} ({} events)", events.len());
     }
+
+    if db.monitor().is_some() && hold_ms > 0 {
+        println!("holding for {hold_ms} ms so the live endpoints can be scraped ...");
+        std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+    }
+    db.begin_shutdown();
+    db.stop_serving();
     Ok(())
 }

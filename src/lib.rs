@@ -98,13 +98,16 @@ pub mod tsbs {
 
 /// Observability: process-wide counters, gauges, latency histograms, and
 /// RAII spans recorded by every crate above, plus per-operation trace
-/// contexts, the flight recorder, and the Prometheus / chrome-trace
-/// exporters (see `docs/OBSERVABILITY.md`).
+/// contexts, the flight recorder, the Prometheus / chrome-trace exporters,
+/// and the live plane — the embedded HTTP endpoint, vitals monitor, health
+/// model, and structured event log (see `docs/OBSERVABILITY.md`).
 pub mod obs {
+    pub use tu_obs::log;
     pub use tu_obs::{
         chrome_trace_json, counter, flight, gauge, global, histogram, parse_prometheus_text,
         prometheus_text, span, span_of, traced, Counter, FlightEvent, FlightPhase, FlightRecorder,
-        Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SpanDelta, SpanTimer,
-        TraceContext, TraceHandle, TraceSummary, TracedCounter,
+        Gauge, Health, HealthCheck, HealthReport, HealthSource, Histogram, HistogramSnapshot,
+        MetricsSnapshot, Monitor, MonitorOptions, ObsServer, Registry, ServeSources, SpanDelta,
+        SpanTimer, TierRates, TraceContext, TraceHandle, TraceSummary, TracedCounter, Vitals,
     };
 }

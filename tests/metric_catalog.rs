@@ -7,8 +7,10 @@
 //! Code side: scans `crates/*/src/**/*.rs` (and the facade `src/`) for
 //! `tu_obs::{counter,gauge,histogram,traced}("name")` and
 //! `tu_obs::span("name")` (→ `span.name.ns`) call sites, skipping
-//! `tu-obs` itself (its examples/tests use throwaway names) and anything
-//! after a `#[cfg(test)]` marker. The dynamically named
+//! anything after a `#[cfg(test)]` marker. `tu-obs` itself registers its
+//! own metrics (the `obs.*` family: HTTP plane, event log, flight
+//! recorder) through `crate::{counter,gauge,histogram}(…)`, so it is
+//! scanned with those patterns instead. The dynamically named
 //! `cloud.{tier}.*` family built with `format!` in `tu-cloud`'s cost
 //! model is caught by a dedicated pattern and expanded over both tiers.
 //!
@@ -46,14 +48,21 @@ fn add_name(set: &mut BTreeSet<String>, name: &str) {
 /// Every metric name recorded by non-test code in the workspace.
 fn code_names(root: &Path) -> BTreeSet<String> {
     let mut files = Vec::new();
+    let mut obs_files = Vec::new();
     for entry in std::fs::read_dir(root.join("crates")).unwrap() {
         let path = entry.unwrap().path();
-        if path.is_dir() && !path.ends_with("tu-obs") && path.join("src").is_dir() {
+        if !path.is_dir() || !path.join("src").is_dir() {
+            continue;
+        }
+        if path.ends_with("tu-obs") {
+            rs_files(&path.join("src"), &mut obs_files);
+        } else {
             rs_files(&path.join("src"), &mut files);
         }
     }
     rs_files(&root.join("src"), &mut files);
     assert!(files.len() > 10, "workspace scan looks broken: {files:?}");
+    assert!(!obs_files.is_empty(), "tu-obs scan looks broken");
 
     // (prefix to search for, true if the extracted name is a span).
     let patterns: [(&str, bool); 6] = [
@@ -64,8 +73,20 @@ fn code_names(root: &Path) -> BTreeSet<String> {
         ("tu_obs::traced(&format!(\"", false),
         ("tu_obs::span(\"", true),
     ];
+    // tu-obs registers its own metrics via `crate::…` paths; doc examples
+    // and the `tu_obs::…` form in its rustdoc use throwaway names, so only
+    // the crate-internal form counts there.
+    let obs_patterns: [(&str, bool); 3] = [
+        ("crate::counter(\"", false),
+        ("crate::gauge(\"", false),
+        ("crate::histogram(\"", false),
+    ];
     let mut names = BTreeSet::new();
-    for file in &files {
+    let scans = files
+        .iter()
+        .map(|f| (f, &patterns[..]))
+        .chain(obs_files.iter().map(|f| (f, &obs_patterns[..])));
+    for (file, patterns) in scans {
         let content = std::fs::read_to_string(file).unwrap();
         // Unit-test modules sit at the bottom of each file; their metric
         // names are throwaway and must not force catalog entries.
@@ -74,7 +95,7 @@ fn code_names(root: &Path) -> BTreeSet<String> {
             .next()
             .unwrap_or(&content)
             .to_string();
-        for (pattern, is_span) in patterns {
+        for &(pattern, is_span) in patterns {
             for (pos, _) in content.match_indices(pattern) {
                 let rest = &content[pos + pattern.len()..];
                 let name = rest.split('"').next().unwrap();
@@ -95,12 +116,19 @@ fn code_names(root: &Path) -> BTreeSet<String> {
 }
 
 /// Every metric name documented in the OBSERVABILITY.md catalog tables.
+/// Only the "## Metric catalog" section counts — the doc's other tables
+/// (HTTP endpoints, health checks) catalogue different things.
 fn doc_names(root: &Path) -> BTreeSet<String> {
     let doc = std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")).unwrap();
     let mut names = BTreeSet::new();
+    let mut in_catalog = false;
     for line in doc.lines() {
         let line = line.trim();
-        if !line.starts_with('|') {
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_catalog = heading == "Metric catalog";
+            continue;
+        }
+        if !in_catalog || !line.starts_with('|') {
             continue;
         }
         let Some(cell) = line.split('|').nth(1) else {
@@ -146,6 +174,8 @@ fn catalog_matches_recorded_metrics() {
         "core.ingest.samples",
         "span.lsm.flush.ns",
         "span.core.query.ns",
+        "obs.http.requests",
+        "obs.flight.dropped_events",
     ] {
         assert!(code.contains(anchor), "code scan lost {anchor}");
         assert!(docs.contains(anchor), "doc scan lost {anchor}");
