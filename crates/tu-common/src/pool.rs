@@ -26,6 +26,11 @@ use std::sync::Mutex;
 /// suite at both 1 and 8).
 pub const QUERY_THREADS_ENV: &str = "TU_QUERY_THREADS";
 
+/// Environment variable overriding the ingest thread count (batched
+/// writer fan-out and the flush/compaction workers). Resolution mirrors
+/// the query knob: env > `Options::ingest_threads` > cores capped at 8.
+pub const INGEST_THREADS_ENV: &str = "TU_INGEST_THREADS";
+
 /// A fixed-width scoped thread pool.
 ///
 /// The pool is a plain value (just a thread count): threads are scoped to
@@ -50,7 +55,14 @@ impl WorkerPool {
     /// parallelism (capped at 8 — query fan-out saturates well before the
     /// core counts of large hosts).
     pub fn resolve(configured: usize) -> Self {
-        if let Some(n) = env_threads() {
+        WorkerPool::resolve_env(QUERY_THREADS_ENV, configured)
+    }
+
+    /// [`WorkerPool::resolve`] generalized over the overriding environment
+    /// variable, so the ingest path resolves through `TU_INGEST_THREADS`
+    /// with the same env > configured > cores-capped-at-8 chain.
+    pub fn resolve_env(var: &str, configured: usize) -> Self {
+        if let Some(n) = env_threads_var(var) {
             return WorkerPool::new(n);
         }
         if configured > 0 {
@@ -109,7 +121,13 @@ impl WorkerPool {
 
 /// Parses `TU_QUERY_THREADS` if set to a positive integer.
 pub fn env_threads() -> Option<usize> {
-    std::env::var(QUERY_THREADS_ENV)
+    env_threads_var(QUERY_THREADS_ENV)
+}
+
+/// Parses the given thread-count environment variable if set to a
+/// positive integer.
+pub fn env_threads_var(var: &str) -> Option<usize> {
+    std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
@@ -175,6 +193,25 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn resolve_env_prefers_env_then_configured() {
+        // A variable that is certainly unset: configured wins.
+        assert_eq!(
+            WorkerPool::resolve_env("TU_POOL_TEST_UNSET_VAR", 3).threads(),
+            3
+        );
+        // Unset and unconfigured: cores capped at 8.
+        let fallback = WorkerPool::resolve_env("TU_POOL_TEST_UNSET_VAR", 0).threads();
+        assert!((1..=8).contains(&fallback));
+        // Set: env wins over configured.
+        std::env::set_var("TU_POOL_TEST_SET_VAR", "5");
+        assert_eq!(
+            WorkerPool::resolve_env("TU_POOL_TEST_SET_VAR", 3).threads(),
+            5
+        );
+        std::env::remove_var("TU_POOL_TEST_SET_VAR");
     }
 
     #[test]

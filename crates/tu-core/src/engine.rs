@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use tu_cloud::cost::LatencyMode;
 use tu_cloud::StorageEnv;
@@ -27,6 +27,7 @@ use crate::model;
 use crate::profile::QueryProfile;
 use crate::query::{QueryResult, SampleMerger, SeriesResult};
 use crate::series::{self, HeadInsert, SeriesObject};
+use crate::shard::ShardedMap;
 
 /// Engine configuration.
 #[derive(Clone)]
@@ -65,6 +66,13 @@ pub struct Options {
     /// else available parallelism capped at 8). Results are identical for
     /// every thread count; see [`TimeUnion::set_query_threads`].
     pub query_threads: usize,
+    /// Worker threads for batched-ingest fan-out ([`TimeUnion::put_batch`])
+    /// and, unless `tree.flush_threads` overrides it, the flush/compaction
+    /// workers. `0` resolves automatically (the `TU_INGEST_THREADS`
+    /// environment variable if set, else available parallelism capped
+    /// at 8). On-disk state is identical for every thread count; see
+    /// [`TimeUnion::set_ingest_threads`].
+    pub ingest_threads: usize,
     /// Address for the live observability endpoint (e.g.
     /// `"127.0.0.1:9090"`; port `0` picks a free port). `None` serves
     /// nothing. Consulted by [`TimeUnion::serve_if_configured`], where the
@@ -89,6 +97,7 @@ impl Default for Options {
             inline_maintenance: true,
             clock: system_clock(),
             query_threads: 0,
+            ingest_threads: 0,
             serve_addr: None,
         }
     }
@@ -142,10 +151,12 @@ pub struct TimeUnion {
     series_arena: ChunkArena,
     group_ts_arena: ChunkArena,
     group_val_arena: ChunkArena,
-    series: RwLock<HashMap<SeriesId, Arc<Mutex<SeriesObject>>>>,
-    by_labels: RwLock<HashMap<Vec<u8>, SeriesId>>,
-    groups: RwLock<HashMap<GroupId, Arc<Mutex<GroupObject>>>>,
-    group_by_tags: RwLock<HashMap<Vec<u8>, GroupId>>,
+    /// Hot-path maps are sharded: concurrent writers on distinct series
+    /// lock different shards, so they only contend when they hash together.
+    series: ShardedMap<SeriesId, Arc<Mutex<SeriesObject>>>,
+    by_labels: ShardedMap<Vec<u8>, SeriesId>,
+    groups: ShardedMap<GroupId, Arc<Mutex<GroupObject>>>,
+    group_by_tags: ShardedMap<Vec<u8>, GroupId>,
     next_series: AtomicU64,
     next_group: AtomicU64,
     /// Longest time span observed in any sealed chunk; queries extend
@@ -165,6 +176,12 @@ pub struct TimeUnion {
     /// Resolved query fan-out width; runtime-adjustable so benchmarks can
     /// sweep thread counts against one engine instance.
     query_threads: std::sync::atomic::AtomicUsize,
+    /// Resolved ingest fan-out width for [`TimeUnion::put_batch`].
+    ingest_threads: std::sync::atomic::AtomicUsize,
+    /// Serializes maintenance passes: concurrent ingest workers may seal
+    /// memtables simultaneously, but only one thread at a time may run the
+    /// flush/compact/checkpoint pipeline.
+    maintenance: Mutex<()>,
     obs: EngineObs,
 }
 
@@ -176,6 +193,8 @@ struct EngineObs {
     queries: tu_obs::TracedCounter,
     parallel_queries: tu_obs::TracedCounter,
     parallel_tasks: tu_obs::TracedCounter,
+    parallel_batches: tu_obs::TracedCounter,
+    parallel_ingest_tasks: tu_obs::TracedCounter,
 }
 
 impl EngineObs {
@@ -185,6 +204,8 @@ impl EngineObs {
             queries: tu_obs::traced("core.query.requests"),
             parallel_queries: tu_obs::traced("core.query.parallel.queries"),
             parallel_tasks: tu_obs::traced("core.query.parallel.tasks"),
+            parallel_batches: tu_obs::traced("core.ingest.parallel.batches"),
+            parallel_ingest_tasks: tu_obs::traced("core.ingest.parallel.tasks"),
         }
     }
 }
@@ -214,7 +235,14 @@ impl TimeUnion {
             dir.join("index"),
             opts.index_slots_per_segment,
         )?;
-        let tree = TimeTree::open(env.clone(), opts.tree.clone())?;
+        // Unless the tree has its own flush width, the flush/compaction
+        // workers inherit the engine's ingest knob (the TU_INGEST_THREADS
+        // env var still wins inside the tree's resolution).
+        let mut tree_opts = opts.tree.clone();
+        if tree_opts.flush_threads == 0 {
+            tree_opts.flush_threads = opts.ingest_threads;
+        }
+        let tree = TimeTree::open(env.clone(), tree_opts)?;
         let wal = Wal::open(env.block.clone(), "wal/engine.log");
         let catalog = Catalog::open(env.block.clone(), "catalog/series.cat");
         // Head chunks are rebuilt from the WAL; reset the arenas so handles
@@ -254,10 +282,10 @@ impl TimeUnion {
             series_arena,
             group_ts_arena,
             group_val_arena,
-            series: RwLock::new(HashMap::new()),
-            by_labels: RwLock::new(HashMap::new()),
-            groups: RwLock::new(HashMap::new()),
-            group_by_tags: RwLock::new(HashMap::new()),
+            series: ShardedMap::new(),
+            by_labels: ShardedMap::new(),
+            groups: ShardedMap::new(),
+            group_by_tags: ShardedMap::new(),
             next_series: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
             max_chunk_span: AtomicI64::new(0),
@@ -271,11 +299,21 @@ impl TimeUnion {
             query_threads: std::sync::atomic::AtomicUsize::new(
                 tu_common::pool::WorkerPool::resolve(opts.query_threads).threads(),
             ),
+            ingest_threads: std::sync::atomic::AtomicUsize::new(
+                tu_common::pool::WorkerPool::resolve_env(
+                    tu_common::pool::INGEST_THREADS_ENV,
+                    opts.ingest_threads,
+                )
+                .threads(),
+            ),
+            maintenance: Mutex::new(()),
             obs: EngineObs::resolve(),
             opts,
         };
         tu_obs::gauge("core.query.parallel.threads")
             .set(engine.query_threads.load(Ordering::Relaxed) as i64);
+        tu_obs::gauge("core.ingest.parallel.threads")
+            .set(engine.ingest_threads.load(Ordering::Relaxed) as i64);
         engine.recover()?;
         tu_obs::log::info(
             "core.open",
@@ -526,16 +564,14 @@ impl TimeUnion {
                 CatalogRecord::Series { id, labels } => {
                     let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
                     self.index.add(&labels, id)?;
-                    self.by_labels.write().insert(labels.to_bytes(), id);
-                    self.series.write().insert(id, Arc::new(Mutex::new(obj)));
+                    self.by_labels.insert(labels.to_bytes(), id);
+                    self.series.insert(id, Arc::new(Mutex::new(obj)));
                     self.next_series.fetch_max(id + 1, Ordering::Relaxed);
                 }
                 CatalogRecord::Group { gid, group_tags } => {
                     let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
-                    self.group_by_tags
-                        .write()
-                        .insert(group_tags.to_bytes(), gid);
-                    self.groups.write().insert(gid, Arc::new(Mutex::new(obj)));
+                    self.group_by_tags.insert(group_tags.to_bytes(), gid);
+                    self.groups.insert(gid, Arc::new(Mutex::new(obj)));
                     self.next_group
                         .fetch_max((gid & !GROUP_ID_FLAG) + 1, Ordering::Relaxed);
                 }
@@ -544,8 +580,8 @@ impl TimeUnion {
                     slot,
                     unique_tags,
                 } => {
-                    let groups = self.groups.read();
-                    let obj = groups
+                    let obj = self
+                        .groups
                         .get(&gid)
                         .ok_or_else(|| Error::corruption("catalog member before its group"))?;
                     let mut g = obj.lock();
@@ -585,10 +621,9 @@ impl TimeUnion {
                     let Some((t, entries)) = decode_group_row(&r.payload) else {
                         continue; // records for members lost to a torn catalog
                     };
-                    if self.groups.read().contains_key(&r.stream) {
+                    if let Some(obj) = self.groups.get(&r.stream) {
                         let valid = {
-                            let groups = self.groups.read();
-                            let g = groups[&r.stream].lock();
+                            let g = obj.lock();
                             entries
                                 .iter()
                                 .all(|(slot, _)| (*slot as usize) < g.member_count())
@@ -598,7 +633,7 @@ impl TimeUnion {
                         }
                     }
                 } else if let Some((t, v)) = decode_sample(&r.payload) {
-                    if self.series.read().contains_key(&r.stream) {
+                    if self.series.contains_key(&r.stream) {
                         self.apply_sample(r.stream, t, v, r.seq)?;
                     }
                 }
@@ -623,15 +658,15 @@ impl TimeUnion {
     }
 
     /// Fast-path insert by series ID (§3.4), skipping tag comparison.
+    /// Safe to call from many threads at once: writers on distinct series
+    /// contend only on their map shard and the shared WAL buffer.
     pub fn put_by_id(&self, id: SeriesId, t: Timestamp, v: Value) -> Result<()> {
         self.obs.ingest_samples.inc();
         let seq = {
-            let series = self.series.read();
-            let obj = series
+            let obj = self
+                .series
                 .get(&id)
-                .ok_or_else(|| Error::not_found(format!("series {id}")))?
-                .clone();
-            drop(series);
+                .ok_or_else(|| Error::not_found(format!("series {id}")))?;
             let mut obj = obj.lock();
             obj.seq += 1;
             let seq = obj.seq;
@@ -650,12 +685,64 @@ impl TimeUnion {
         Ok(())
     }
 
+    /// Batched parallel ingest: groups `samples` by series and fans the
+    /// per-series runs across the engine's ingest pool (see
+    /// [`TimeUnion::set_ingest_threads`]). Samples of one series are
+    /// applied by one worker in their given order, so per-series sample
+    /// order — and with it the resulting chunk and tree state — is
+    /// identical for every thread count. Returns once every sample in the
+    /// batch is durable in the WAL (one group-commit wave, shared with
+    /// concurrent batches).
+    pub fn put_batch(&self, samples: &[(SeriesId, Timestamp, Value)]) -> Result<()> {
+        // Group by series, preserving first-seen series order and the
+        // in-batch sample order within each series.
+        let mut order: Vec<SeriesId> = Vec::new();
+        let mut by_series: HashMap<SeriesId, Vec<(Timestamp, Value)>> = HashMap::new();
+        for &(id, t, v) in samples {
+            by_series
+                .entry(id)
+                .or_insert_with(|| {
+                    order.push(id);
+                    Vec::new()
+                })
+                .push((t, v));
+        }
+        let pool = tu_common::pool::WorkerPool::new(self.ingest_threads.load(Ordering::Relaxed));
+        if pool.threads() > 1 && order.len() > 1 {
+            self.obs.parallel_batches.inc();
+            self.obs.parallel_ingest_tasks.add(order.len() as u64);
+        }
+        let results = pool.run(order.len(), |i| -> Result<()> {
+            let id = order[i];
+            for &(t, v) in &by_series[&id] {
+                self.put_by_id(id, t, v)?;
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+        self.sync_wal()
+    }
+
+    /// Sets the ingest fan-out width (clamped to at least 1). Takes effect
+    /// on the next `put_batch` call; thread count never changes the
+    /// resulting on-disk state.
+    pub fn set_ingest_threads(&self, threads: usize) {
+        let n = threads.max(1);
+        self.ingest_threads.store(n, Ordering::Relaxed);
+        tu_obs::gauge("core.ingest.parallel.threads").set(n as i64);
+    }
+
+    /// The current ingest fan-out width.
+    pub fn ingest_threads(&self) -> usize {
+        self.ingest_threads.load(Ordering::Relaxed)
+    }
+
     fn apply_sample(&self, id: SeriesId, t: Timestamp, v: Value, seq: u64) -> Result<()> {
         let obj = self
             .series
-            .read()
             .get(&id)
-            .cloned()
             .ok_or_else(|| Error::not_found(format!("series {id}")))?;
         let mut o = obj.lock();
         o.seq = o.seq.max(seq);
@@ -711,17 +798,18 @@ impl TimeUnion {
 
     fn get_or_create_series(&self, labels: &Labels) -> Result<SeriesId> {
         let key = labels.to_bytes();
-        if let Some(&id) = self.by_labels.read().get(&key) {
+        if let Some(id) = self.by_labels.get(&key) {
             return Ok(id);
         }
-        // Create with the map write-locked to serialize racers.
-        let mut by_labels = self.by_labels.write();
+        // Create with the key's shard write-locked to serialize racers on
+        // the same label set; creators of other series proceed in parallel.
+        let mut by_labels = self.by_labels.lock_shard(&key);
         if let Some(&id) = by_labels.get(&key) {
             return Ok(id);
         }
         let id = self.next_series.fetch_add(1, Ordering::Relaxed);
         let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
-        self.series.write().insert(id, Arc::new(Mutex::new(obj)));
+        self.series.insert(id, Arc::new(Mutex::new(obj)));
         by_labels.insert(key, id);
         drop(by_labels);
         self.index.add(labels, id)?;
@@ -758,9 +846,7 @@ impl TimeUnion {
         let gid = self.get_or_create_group(group_tags)?;
         let obj = self
             .groups
-            .read()
             .get(&gid)
-            .cloned()
             .ok_or_else(|| Error::corruption("group object missing right after creation"))?;
         let mut g = obj.lock();
         let mut refs = Vec::with_capacity(member_tags.len());
@@ -825,9 +911,7 @@ impl TimeUnion {
         self.obs.ingest_samples.add(entries.len() as u64);
         let obj = self
             .groups
-            .read()
             .get(&gid)
-            .cloned()
             .ok_or_else(|| Error::not_found(format!("group {gid}")))?;
         let mut g = obj.lock();
         g.seq += 1;
@@ -859,9 +943,7 @@ impl TimeUnion {
     ) -> Result<()> {
         let obj = self
             .groups
-            .read()
             .get(&gid)
-            .cloned()
             .ok_or_else(|| Error::not_found(format!("group {gid}")))?;
         let mut g = obj.lock();
         g.seq = g.seq.max(seq);
@@ -908,16 +990,16 @@ impl TimeUnion {
 
     fn get_or_create_group(&self, group_tags: &Labels) -> Result<GroupId> {
         let key = group_tags.to_bytes();
-        if let Some(&gid) = self.group_by_tags.read().get(&key) {
+        if let Some(gid) = self.group_by_tags.get(&key) {
             return Ok(gid);
         }
-        let mut by_tags = self.group_by_tags.write();
+        let mut by_tags = self.group_by_tags.lock_shard(&key);
         if let Some(&gid) = by_tags.get(&key) {
             return Ok(gid);
         }
         let gid = self.next_group.fetch_add(1, Ordering::Relaxed) | GROUP_ID_FLAG;
         let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
-        self.groups.write().insert(gid, Arc::new(Mutex::new(obj)));
+        self.groups.insert(gid, Arc::new(Mutex::new(obj)));
         by_tags.insert(key, gid);
         drop(by_tags);
         // Group tags are indexed under the group ID so selectors on shared
@@ -940,15 +1022,29 @@ impl TimeUnion {
         let n = self.wal_unflushed.fetch_add(1, Ordering::Relaxed) + 1;
         if n as usize >= self.opts.wal_batch_records {
             self.wal_unflushed.store(0, Ordering::Relaxed);
-            self.flush_wal()?;
+            // Opportunistic group commit: if another writer is already
+            // leading a flush wave, our records ride a later one instead
+            // of stalling this writer behind the in-flight fsync.
+            self.wal_health(self.wal.nudge())?;
         }
         Ok(())
+    }
+
+    /// Blocks until every WAL record queued so far is durable on the fast
+    /// tier (one group-commit wave, shared with concurrent callers).
+    pub fn sync_wal(&self) -> Result<()> {
+        self.wal_unflushed.store(0, Ordering::Relaxed);
+        self.flush_wal()
     }
 
     /// Flushes the WAL, mirroring the outcome into the `wal` health check
     /// (and logging the first failure of a failure streak).
     fn flush_wal(&self) -> Result<()> {
-        match self.wal.flush() {
+        self.wal_health(self.wal.flush())
+    }
+
+    fn wal_health(&self, result: Result<()>) -> Result<()> {
+        match result {
             Ok(()) => {
                 self.wal_ok.store(true, Ordering::SeqCst);
                 Ok(())
@@ -969,8 +1065,15 @@ impl TimeUnion {
     // --- maintenance --------------------------------------------------------------
 
     /// Runs background work to quiescence: tree flush/compaction, WAL
-    /// checkpoints and purging, catalog/meta persistence.
+    /// checkpoints and purging, catalog/meta persistence. Serialized: when
+    /// several ingest workers seal memtables at once, one thread runs the
+    /// pipeline while the others' triggers fold into its pass.
     pub fn maintain(&self) -> Result<()> {
+        let _serialize = self.maintenance.lock();
+        self.maintain_locked()
+    }
+
+    fn maintain_locked(&self) -> Result<()> {
         self.tree.maintain()?;
         // Emit checkpoints for chunks whose memtable reached L0.
         let flushed = self.tree.flushed_epoch();
@@ -1008,7 +1111,7 @@ impl TimeUnion {
     /// benchmarks that want the paper's "after all pending samples are
     /// flushed" state.
     pub fn flush_all(&self) -> Result<()> {
-        for obj in self.series.read().values() {
+        for obj in self.series.values() {
             let mut o = obj.lock();
             let seq = o.seq;
             if let Some((first, last, chunk)) = o.seal(&self.series_arena)? {
@@ -1017,7 +1120,7 @@ impl TimeUnion {
                 self.flush_chunk(id, first, last, chunk, seq)?;
             }
         }
-        for obj in self.groups.read().values() {
+        for obj in self.groups.values() {
             let mut g = obj.lock();
             let seq = g.seq;
             if let Some((first, last, chunk)) =
@@ -1028,8 +1131,9 @@ impl TimeUnion {
                 self.flush_chunk(gid, first, last, chunk, seq)?;
             }
         }
+        let _serialize = self.maintenance.lock();
         self.tree.flush_all_to_slow()?;
-        self.maintain()
+        self.maintain_locked()
     }
 
     /// Flushes logs/indexes; call before dropping for durability.
@@ -1054,18 +1158,18 @@ impl TimeUnion {
         // Series objects older than the watermark.
         let stale: Vec<SeriesId> = self
             .series
-            .read()
-            .iter()
+            .entries()
+            .into_iter()
             .filter(|(_, o)| o.lock().last_ts < watermark)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         for id in stale {
-            let removed = self.series.write().remove(&id);
+            let removed = self.series.remove(&id);
             if let Some(obj) = removed {
                 let obj = Arc::try_unwrap(obj)
                     .map_err(|_| Error::Closed("series busy during retention".into()))?
                     .into_inner();
-                self.by_labels.write().remove(&obj.labels.to_bytes());
+                self.by_labels.remove(&obj.labels.to_bytes());
                 self.index.remove(&obj.labels, id)?;
                 obj.release(&self.series_arena)?;
                 objects += 1;
@@ -1073,20 +1177,18 @@ impl TimeUnion {
         }
         let stale_groups: Vec<GroupId> = self
             .groups
-            .read()
-            .iter()
+            .entries()
+            .into_iter()
             .filter(|(_, o)| o.lock().last_ts < watermark)
-            .map(|(gid, _)| *gid)
+            .map(|(gid, _)| gid)
             .collect();
         for gid in stale_groups {
-            let removed = self.groups.write().remove(&gid);
+            let removed = self.groups.remove(&gid);
             if let Some(obj) = removed {
                 let obj = Arc::try_unwrap(obj)
                     .map_err(|_| Error::Closed("group busy during retention".into()))?
                     .into_inner();
-                self.group_by_tags
-                    .write()
-                    .remove(&obj.group_tags.to_bytes());
+                self.group_by_tags.remove(&obj.group_tags.to_bytes());
                 self.index.remove(&obj.group_tags, gid)?;
                 for (_, unique) in obj.members() {
                     self.index.remove(&obj.group_tags.merge(unique), gid)?;
@@ -1200,7 +1302,7 @@ impl TimeUnion {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<Vec<SeriesResult>> {
-        let Some(obj) = self.series.read().get(&id).cloned() else {
+        let Some(obj) = self.series.get(&id) else {
             return Ok(Vec::new()); // purged between index lookup and here
         };
         let mut merger = SampleMerger::new(start, end);
@@ -1230,7 +1332,7 @@ impl TimeUnion {
         end: Timestamp,
     ) -> Result<Vec<SeriesResult>> {
         let mut out = Vec::new();
-        let Some(obj) = self.groups.read().get(&gid).cloned() else {
+        let Some(obj) = self.groups.get(&gid) else {
             return Ok(out);
         };
         // Second-level index: which members match every selector?
@@ -1302,11 +1404,11 @@ impl TimeUnion {
     // --- observability ---------------------------------------------------------------
 
     pub fn series_count(&self) -> usize {
-        self.series.read().len()
+        self.series.len()
     }
 
     pub fn group_count(&self) -> usize {
-        self.groups.read().len()
+        self.groups.len()
     }
 
     /// The storage environment (request counters, virtual cost clock).
@@ -1333,14 +1435,14 @@ impl TimeUnion {
     pub fn memory_stats(&self) -> MemoryStats {
         let objects_bytes: usize = self
             .series
-            .read()
             .values()
+            .iter()
             .map(|o| o.lock().heap_bytes())
             .sum::<usize>()
             + self
                 .groups
-                .read()
                 .values()
+                .iter()
                 .map(|o| o.lock().heap_bytes())
                 .sum::<usize>();
         MemoryStats {
@@ -1350,6 +1452,88 @@ impl TimeUnion {
             memtable_bytes: self.tree.memtable_bytes(),
             block_cache_bytes: self.tree.block_cache().used_bytes(),
         }
+    }
+
+    /// Deterministic digest of the engine's complete logical state: every
+    /// series and group with its labels, every chunk in the tree (key and
+    /// raw bytes), and every buffered head sample, folded in id order.
+    ///
+    /// Used by the parallel-ingest tests and the `ingest_scaling` bench to
+    /// pin that the on-disk state after a parallel ingest is byte-identical
+    /// to the sequential path: same chunk boundaries, same compressed chunk
+    /// bytes, same tree contents for every thread count.
+    pub fn state_digest(&self) -> Result<String> {
+        // FNV-1a 64; self-contained so the digest is stable across builds.
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let (lo, hi) = (i64::MIN / 2, i64::MAX / 2);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut ids: Vec<SeriesId> = self
+            .series
+            .entries()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Some(obj) = self.series.get(&id) else {
+                continue;
+            };
+            mix(&mut h, &id.to_le_bytes());
+            let o = obj.lock();
+            mix(&mut h, &o.labels.to_bytes());
+            let head = o.head_samples(&self.series_arena)?;
+            drop(o);
+            for s in head {
+                mix(&mut h, &s.t.to_le_bytes());
+                mix(&mut h, &s.v.to_le_bytes());
+            }
+            for (start_ts, chunk) in self.tree.range_chunks(id, lo, hi)? {
+                mix(&mut h, &start_ts.to_le_bytes());
+                mix(&mut h, &chunk);
+            }
+        }
+        let mut gids: Vec<GroupId> = self
+            .groups
+            .entries()
+            .into_iter()
+            .map(|(gid, _)| gid)
+            .collect();
+        gids.sort_unstable();
+        for gid in gids {
+            let Some(obj) = self.groups.get(&gid) else {
+                continue;
+            };
+            mix(&mut h, &gid.to_le_bytes());
+            let g = obj.lock();
+            mix(&mut h, &g.group_tags.to_bytes());
+            let mut heads = Vec::new();
+            for (slot, unique) in g.members() {
+                mix(&mut h, &slot.to_le_bytes());
+                mix(&mut h, &unique.to_bytes());
+                heads.push((
+                    slot,
+                    g.head_samples_of(&self.group_ts_arena, &self.group_val_arena, slot)?,
+                ));
+            }
+            drop(g);
+            for (slot, samples) in heads {
+                mix(&mut h, &slot.to_le_bytes());
+                for (t, v) in samples {
+                    mix(&mut h, &t.to_le_bytes());
+                    mix(&mut h, &v.to_le_bytes());
+                }
+            }
+            for (start_ts, chunk) in self.tree.range_chunks(gid, lo, hi)? {
+                mix(&mut h, &start_ts.to_le_bytes());
+                mix(&mut h, &chunk);
+            }
+        }
+        Ok(format!("{h:016x}"))
     }
 }
 

@@ -25,6 +25,7 @@ pub mod model;
 pub mod profile;
 pub mod query;
 pub mod series;
+pub mod shard;
 
 pub use engine::{Options, TimeUnion};
 pub use profile::{QueryProfile, StageTiming, TierProfile};

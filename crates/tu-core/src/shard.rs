@@ -1,0 +1,166 @@
+//! A sharded concurrent map for the engine's hot series/group lookups.
+//!
+//! The ingest fast path does one map lookup per sample; with a single
+//! `RwLock<HashMap>`, concurrent writers on *distinct* series still
+//! serialize on that lock's cache line. Sharding by key hash gives each
+//! writer its own lock with high probability, so contention only occurs
+//! when two writers actually touch the same shard.
+//!
+//! This is the pragmatic fixed-shard variant of the concurrent-hot-map
+//! idiom: readers and writers lock one shard, never the whole map, and
+//! whole-map operations (snapshots, counts) visit shards one at a time —
+//! acceptable because every whole-map caller (recovery, retention,
+//! `flush_all`, stats) is off the hot path.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::RwLockWriteGuard;
+
+use parking_lot::RwLock;
+
+/// Shard count. A power of two well above the thread counts we fan out
+/// to (8), so the probability of two concurrent writers colliding on a
+/// shard stays low without bloating the struct.
+pub const SHARDS: usize = 64;
+
+/// A hash map split into [`SHARDS`] independently locked shards.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    pub fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) & (SHARDS - 1)
+    }
+
+    /// Clones the value under `key`, locking only its shard for reading.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].read().get(key).cloned()
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].read().contains_key(key)
+    }
+
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shards[self.shard_of(&key)].write().insert(key, value)
+    }
+
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].write().remove(key)
+    }
+
+    /// Write-locks the shard that owns `key`, for check-then-insert
+    /// sequences that must serialize concurrent creators of the same key
+    /// (but not creators of keys in other shards).
+    pub fn lock_shard(&self, key: &K) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+        self.shards[self.shard_of(key)].write()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Snapshot of all values. Shards are visited one at a time, so the
+    /// snapshot is not atomic across shards — fine for the maintenance
+    /// and stats paths that use it.
+    pub fn values(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().values().cloned());
+        }
+        out
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// Snapshot of all entries (same caveat as [`ShardedMap::values`]).
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let m: ShardedMap<u64, String> = ShardedMap::new();
+        assert!(m.is_empty());
+        for i in 0..500u64 {
+            assert!(m.insert(i, format!("v{i}")).is_none());
+        }
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.get(&123), Some("v123".to_string()));
+        assert!(m.contains_key(&499));
+        assert_eq!(m.remove(&123), Some("v123".to_string()));
+        assert_eq!(m.get(&123), None);
+        assert_eq!(m.len(), 499);
+    }
+
+    #[test]
+    fn snapshots_cover_every_shard() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        for i in 0..200u64 {
+            m.insert(i, i * 2);
+        }
+        let mut values = m.values();
+        values.sort_unstable();
+        assert_eq!(values, (0..200u64).map(|i| i * 2).collect::<Vec<_>>());
+        let mut entries = m.entries();
+        entries.sort_unstable();
+        assert!(entries.iter().all(|&(k, v)| v == k * 2));
+        assert_eq!(entries.len(), 200);
+    }
+
+    #[test]
+    fn lock_shard_serializes_same_key_creators() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        {
+            let mut guard = m.lock_shard(&7);
+            if !guard.contains_key(&7) {
+                guard.insert(7, 70);
+            }
+        }
+        assert_eq!(m.get(&7), Some(70));
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_keys() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        m.insert(t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 2000);
+    }
+}

@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 
 use tu_cloud::StorageEnv;
 use tu_common::keys::{decode_id, decode_ts, encode_key};
+use tu_common::pool::{WorkerPool, INGEST_THREADS_ENV};
 use tu_common::{Error, Result, TimeRange, Timestamp};
 
 use crate::cache::BlockCache;
@@ -68,6 +69,10 @@ pub struct TreeOptions {
     /// Max adjacent uncached SSTable blocks one coalesced readahead request
     /// may fetch during range scans (`<= 1` disables coalescing).
     pub readahead_blocks: usize,
+    /// Worker threads for flush encoding and compaction reads. `0` resolves
+    /// through the ingest chain: `TU_INGEST_THREADS` env var, then available
+    /// cores capped at 8.
+    pub flush_threads: usize,
 }
 
 impl Default for TreeOptions {
@@ -84,6 +89,7 @@ impl Default for TreeOptions {
             max_sstable_bytes: 2 << 20,
             block_cache_bytes: 64 << 20,
             readahead_blocks: crate::sstable::DEFAULT_READAHEAD_BLOCKS,
+            flush_threads: 0,
         }
     }
 }
@@ -170,13 +176,21 @@ pub struct TimeTree {
     /// put while `seal_epoch() == e` is durable once `flushed_epoch() > e`.
     seals: AtomicU64,
     flushed: AtomicU64,
+    /// Workers for flush encoding and compaction table scans. The on-disk
+    /// result is independent of the width: encoded blobs are written and
+    /// sequence-numbered sequentially in bucket order, and merges fold the
+    /// parallel scans back in table order.
+    flush_pool: WorkerPool,
 }
 
 impl TimeTree {
     /// Opens (or recovers from the manifest) a tree over `env`.
     pub fn open(env: StorageEnv, opts: TreeOptions) -> Result<Self> {
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
+        let flush_pool = WorkerPool::resolve_env(INGEST_THREADS_ENV, opts.flush_threads);
+        tu_obs::gauge("lsm.flush.workers").set(flush_pool.threads() as i64);
         let tree = TimeTree {
+            flush_pool,
             cache,
             mem: MemTableSet::new(),
             levels: Mutex::new(Levels {
@@ -218,6 +232,7 @@ impl TimeTree {
     pub fn seal(&self) {
         if self.mem.seal().is_some() {
             self.seals.fetch_add(1, Ordering::SeqCst);
+            tu_obs::gauge("lsm.flush.backlog").set(self.mem.immutable_count() as i64);
         }
     }
 
@@ -239,6 +254,7 @@ impl TimeTree {
             self.flush_one(&imm)?;
             self.mem.retire(&imm);
             self.flushed.fetch_add(1, Ordering::SeqCst);
+            tu_obs::gauge("lsm.flush.backlog").set(self.mem.immutable_count() as i64);
         }
         loop {
             let l0_count = self.levels.lock().l0.len();
@@ -299,10 +315,19 @@ impl TimeTree {
         }
         let partitions = buckets.len();
         let mut entries_flushed = 0usize;
-        for (slot, entries) in buckets {
+        // Encode every bucket's SSTables across the flush workers (the CPU
+        // cost: sorting is done, but block building, compression framing and
+        // checksumming are not). Writes and sequence numbers are assigned
+        // sequentially in bucket order below, so the on-disk layout is
+        // identical for every worker count.
+        let buckets: Vec<(i64, Vec<(Vec<u8>, Vec<u8>)>)> = buckets.into_iter().collect();
+        let encoded = self
+            .flush_pool
+            .run(buckets.len(), |i| self.encode_tables(&buckets[i].1));
+        for ((slot, entries), blobs) in buckets.iter().zip(encoded) {
             entries_flushed += entries.len();
             let range = TimeRange::new(slot * r1, (slot + 1) * r1);
-            let metas = self.build_tables(&entries, 0, range)?;
+            let metas = self.write_tables(blobs?, 0, range)?;
             let mut lv = self.levels.lock();
             match lv.l0.iter_mut().find(|p| p.range == range) {
                 Some(p) => p.tables.extend(metas),
@@ -327,21 +352,39 @@ impl TimeTree {
         Ok(())
     }
 
-    /// Builds one or more SSTables on the fast tier from sorted entries.
-    fn build_tables(
+    /// Encodes sorted entries into SSTable blobs split at the configured
+    /// size. Pure CPU — no naming, sequencing, or I/O — so buckets can be
+    /// encoded concurrently without affecting the on-disk layout.
+    fn encode_tables(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> Result<Vec<(Vec<u8>, TableProps)>> {
+        let mut out = Vec::new();
+        let mut builder = TableBuilder::new();
+        let mut finish = |builder: &mut TableBuilder| -> Result<()> {
+            if builder.is_empty() {
+                return Ok(());
+            }
+            out.push(std::mem::take(builder).finish()?);
+            Ok(())
+        };
+        for (k, v) in entries {
+            builder.add(k, v)?;
+            if builder.estimated_len() >= self.opts.max_sstable_bytes {
+                finish(&mut builder)?;
+            }
+        }
+        finish(&mut builder)?;
+        Ok(out)
+    }
+
+    /// Writes encoded blobs to the fast tier, assigning sequence numbers
+    /// and names in order.
+    fn write_tables(
         &self,
-        entries: &[(Vec<u8>, Vec<u8>)],
+        blobs: Vec<(Vec<u8>, TableProps)>,
         level: u8,
         range: TimeRange,
     ) -> Result<Vec<TableMeta>> {
         let mut out = Vec::new();
-        let mut builder = TableBuilder::new();
-        let mut flush = |builder: &mut TableBuilder| -> Result<()> {
-            if builder.is_empty() {
-                return Ok(());
-            }
-            let done = std::mem::take(builder);
-            let (bytes, props) = done.finish()?;
+        for (bytes, props) in blobs {
             let seq = self.next_seq();
             let name = format!("l{level}/p{}-{}/sst-{seq:08}", range.start, range.end);
             self.env.block.write_file(&name, &bytes)?;
@@ -351,16 +394,18 @@ impl TimeTree {
                 props,
                 on_slow: false,
             });
-            Ok(())
-        };
-        for (k, v) in entries {
-            builder.add(k, v)?;
-            if builder.estimated_len() >= self.opts.max_sstable_bytes {
-                flush(&mut builder)?;
-            }
         }
-        flush(&mut builder)?;
         Ok(out)
+    }
+
+    /// Builds one or more SSTables on the fast tier from sorted entries.
+    fn build_tables(
+        &self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        level: u8,
+        range: TimeRange,
+    ) -> Result<Vec<TableMeta>> {
+        self.write_tables(self.encode_tables(entries)?, level, range)
     }
 
     fn open_table(&self, meta: &TableMeta) -> Result<Arc<Table>> {
@@ -391,12 +436,18 @@ impl TimeTree {
         Ok(())
     }
 
-    /// Merges a set of tables newest-wins into sorted entries.
+    /// Merges a set of tables newest-wins into sorted entries. The scans —
+    /// the I/O-heavy part, often against the slow tier — fan out across the
+    /// flush workers; the newest-wins fold runs sequentially in table order
+    /// afterwards, so the result is independent of the worker count.
     fn merge_tables(&self, metas: &[TableMeta]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let scans = self.flush_pool.run(metas.len(), |i| {
+            let table = self.open_table(&metas[i])?;
+            table.scan_all()
+        });
         let mut merged: BTreeMap<Vec<u8>, (u64, Vec<u8>)> = BTreeMap::new();
-        for meta in metas {
-            let table = self.open_table(meta)?;
-            for (k, v) in table.scan_all()? {
+        for (meta, scan) in metas.iter().zip(scans) {
+            for (k, v) in scan? {
                 match merged.get(&k) {
                     Some((seq, _)) if *seq > meta.seq => {}
                     _ => {
@@ -905,6 +956,14 @@ impl TimeTree {
                     }
                 }
             };
+        // Read the memtables BEFORE snapshotting the level metadata. Flush
+        // publishes tables to the levels first and only then retires the
+        // flushed memtable, so in this order every entry is visible in at
+        // least one of the two reads (possibly both — deduped by key, with
+        // the memtable copy winning via seq = MAX). The reverse order has
+        // a lost-visibility window: levels snapshotted before the publish,
+        // memtable read after the retire.
+        let mem_entries: Vec<(Vec<u8>, Vec<u8>)> = self.mem.range(&start_key, &end_key);
         // Snapshot the level metadata, then read without holding the lock.
         let (l01_tables, l2_tables): (Vec<TableMeta>, Vec<TableMeta>) = {
             let lv = self.levels.lock();
@@ -941,7 +1000,7 @@ impl TimeTree {
                 consider(&mut acc, k, meta.seq, v);
             }
         }
-        for (k, v) in self.mem.range(&start_key, &end_key) {
+        for (k, v) in mem_entries {
             consider(&mut acc, k, u64::MAX, v);
         }
         acc.into_iter()

@@ -10,8 +10,22 @@
 //! payload encoding is the caller's business; this module provides the
 //! framing, replay, and checkpoint-driven purging over generic records
 //! tagged with `(stream id, sequence)`.
+//!
+//! # Group commit
+//!
+//! Concurrent writers enqueue records into one shared buffer; each append
+//! hands back a monotonically increasing *ticket*. Durability is a wave:
+//! [`Wal::flush`] elects the first arriving thread as the **leader**, which
+//! swaps the whole buffer out and performs one physical append to the fast
+//! tier while followers park on a condvar until the wave that covers their
+//! ticket lands. One fsync therefore pays for every record enqueued by
+//! every concurrent writer since the previous wave — the classic group
+//! commit amortisation. [`Wal::nudge`] is the opportunistic variant used by
+//! the engine's batching threshold: if a leader is already in flight it
+//! returns immediately instead of parking, so background flushing never
+//! stalls the ingest workers.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
@@ -60,15 +74,45 @@ impl WalRecord {
     }
 }
 
+/// Queued records waiting for the next group-commit wave.
+#[derive(Default)]
+struct PendingBuf {
+    buf: Vec<u8>,
+    records: u64,
+    /// Ticket of the newest queued record; monotonically increasing.
+    ticket: u64,
+}
+
+/// Shared commit state guarded by a std mutex so followers can park on
+/// the companion [`Condvar`].
+#[derive(Default)]
+struct CommitState {
+    /// Highest ticket consumed by a finished wave (durable on success).
+    durable: u64,
+    /// Highest ticket consumed by a *failed* wave — those records are
+    /// gone from the buffer and will never become durable, so waiters
+    /// covering them must see an error rather than a false success.
+    lost: u64,
+    /// True while a leader (or the purge rewrite) owns the log file.
+    leader: bool,
+}
+
 /// A write-ahead log stored as one append-only file on the fast tier.
 pub struct Wal {
     store: Arc<BlockStore>,
     name: String,
     /// Buffered records waiting for the next append; batching keeps the
     /// per-sample logging cost off the insert path.
-    pending: Mutex<Vec<u8>>,
+    pending: Mutex<PendingBuf>,
+    /// Group-commit wave state. `std::sync` rather than `parking_lot`
+    /// because followers need a [`Condvar`] to park on.
+    commit: StdMutex<CommitState>,
+    wave_done: Condvar,
     obs_appends: tu_obs::TracedCounter,
     obs_flushed_bytes: tu_obs::TracedCounter,
+    obs_gc_batches: tu_obs::TracedCounter,
+    obs_gc_records: tu_obs::TracedCounter,
+    obs_gc_fsyncs: tu_obs::TracedCounter,
 }
 
 impl Wal {
@@ -77,28 +121,143 @@ impl Wal {
         Wal {
             store,
             name: name.into(),
-            pending: Mutex::new(Vec::new()),
+            pending: Mutex::new(PendingBuf::default()),
+            commit: StdMutex::new(CommitState::default()),
+            wave_done: Condvar::new(),
             obs_appends: tu_obs::traced("lsm.wal.append_records"),
             obs_flushed_bytes: tu_obs::traced("lsm.wal.flushed_bytes"),
+            obs_gc_batches: tu_obs::traced("lsm.wal.group_commit.batches"),
+            obs_gc_records: tu_obs::traced("lsm.wal.group_commit.records"),
+            obs_gc_fsyncs: tu_obs::traced("lsm.wal.group_commit.fsyncs"),
         }
     }
 
-    /// Queues a record; call [`Wal::flush`] to persist the batch.
-    pub fn append(&self, record: &WalRecord) {
+    /// Queues a record and returns its commit ticket; pass it to
+    /// [`Wal::commit_up_to`] (or just call [`Wal::flush`]) to persist.
+    pub fn append(&self, record: &WalRecord) -> u64 {
         self.obs_appends.inc();
-        self.pending.lock().extend_from_slice(&record.encode());
+        // Encode outside the lock — writers contend only on the memcpy.
+        let encoded = record.encode();
+        let mut pending = self.pending.lock();
+        pending.buf.extend_from_slice(&encoded);
+        pending.records += 1;
+        pending.ticket += 1;
+        pending.ticket
     }
 
-    /// Persists all queued records.
-    pub fn flush(&self) -> Result<()> {
-        let mut pending = self.pending.lock();
-        if pending.is_empty() {
-            return Ok(());
+    /// A poisoned commit mutex only means another thread panicked while
+    /// holding it; the state itself (three plain integers) is always
+    /// coherent, so recover the guard rather than propagating the panic.
+    fn lock_commit(&self) -> std::sync::MutexGuard<'_, CommitState> {
+        self.commit.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs one group-commit wave: swaps out everything queued so far,
+    /// appends it to the log with a single store write, and publishes the
+    /// new durable watermark. The caller must hold leadership.
+    fn wave(&self) -> Result<()> {
+        let (batch, records, upto) = {
+            let mut pending = self.pending.lock();
+            let batch = std::mem::take(&mut pending.buf);
+            let records = std::mem::take(&mut pending.records);
+            (batch, records, pending.ticket)
+        };
+        let result = if batch.is_empty() {
+            Ok(())
+        } else {
+            self.obs_gc_batches.inc();
+            self.obs_gc_records.add(records);
+            self.obs_flushed_bytes.add(batch.len() as u64);
+            let r = self.store.append(&self.name, &batch).map(|_| ());
+            if r.is_ok() {
+                self.obs_gc_fsyncs.inc();
+            }
+            r
+        };
+        let mut commit = self.lock_commit();
+        commit.durable = commit.durable.max(upto);
+        if result.is_err() {
+            // The batch was consumed but never landed; make waiters fail.
+            commit.lost = commit.lost.max(upto);
         }
-        let batch = std::mem::take(&mut *pending);
-        self.obs_flushed_bytes.add(batch.len() as u64);
-        self.store.append(&self.name, &batch)?;
-        Ok(())
+        result
+    }
+
+    /// Persists all queued records. Safe to call from many threads at
+    /// once: one becomes the leader and writes the whole batch, the rest
+    /// wait for the wave covering their records.
+    pub fn flush(&self) -> Result<()> {
+        let target = self.pending.lock().ticket;
+        self.commit_up_to(target)
+    }
+
+    /// Blocks until every record ticketed `<= target` is durable (or was
+    /// consumed by a failed wave, which surfaces as an error).
+    pub fn commit_up_to(&self, target: u64) -> Result<()> {
+        let mut commit = self.lock_commit();
+        loop {
+            if commit.durable >= target {
+                if commit.lost >= target && target > 0 {
+                    return Err(Error::Closed(
+                        "wal records were dropped by a failed group commit".into(),
+                    ));
+                }
+                return Ok(());
+            }
+            if commit.leader {
+                commit = self
+                    .wave_done
+                    .wait(commit)
+                    .unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            commit.leader = true;
+            drop(commit);
+            let result = self.wave();
+            commit = self.lock_commit();
+            commit.leader = false;
+            self.wave_done.notify_all();
+            result?;
+        }
+    }
+
+    /// Opportunistic flush for the engine's batching threshold: if a
+    /// leader is already writing, returns immediately — the queued records
+    /// ride one of the next waves. Never parks the calling writer.
+    pub fn nudge(&self) -> Result<()> {
+        {
+            let mut commit = self.lock_commit();
+            if commit.leader {
+                return Ok(());
+            }
+            commit.leader = true;
+        }
+        let result = self.wave();
+        let mut commit = self.lock_commit();
+        commit.leader = false;
+        self.wave_done.notify_all();
+        drop(commit);
+        result
+    }
+
+    /// Claims wave leadership, waiting out any wave in flight. Used by
+    /// [`Wal::purge`] so the rewrite cannot race a concurrent append to
+    /// the log file.
+    fn claim_leadership(&self) {
+        let mut commit = self.lock_commit();
+        while commit.leader {
+            commit = self
+                .wave_done
+                .wait(commit)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        commit.leader = true;
+    }
+
+    fn release_leadership(&self) {
+        let mut commit = self.lock_commit();
+        commit.leader = false;
+        self.wave_done.notify_all();
     }
 
     /// Replays every intact record, oldest first. A torn tail (partial
@@ -154,7 +313,18 @@ impl Wal {
     /// checkpoint (the background purge of §3.3). Returns how many records
     /// were dropped.
     pub fn purge(&self) -> Result<usize> {
-        self.flush()?;
+        // Hold wave leadership across the whole rewrite: a concurrent
+        // group-commit append between our replay and the rewrite below
+        // would be silently overwritten. Appends keep queueing while we
+        // run; they land in the first wave after we release.
+        self.claim_leadership();
+        let result = self.purge_locked();
+        self.release_leadership();
+        result
+    }
+
+    fn purge_locked(&self) -> Result<usize> {
+        self.wave()?;
         let records = self.replay()?;
         use std::collections::HashMap;
         let mut watermark: HashMap<u64, u64> = HashMap::new();
@@ -326,6 +496,80 @@ mod tests {
         let got = w.replay().unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].seq, 5);
+    }
+
+    #[test]
+    fn group_commit_amortises_fsyncs() {
+        let (_d, w) = wal();
+        let ctx = tu_obs::TraceContext::start("wal-group-commit");
+        for seq in 1..=16 {
+            w.append(&rec(1, seq, b"payload"));
+        }
+        w.flush().unwrap();
+        let summary = ctx.finish();
+        // 16 records enqueued, one leader wave, one physical append.
+        assert_eq!(summary.counter("lsm.wal.group_commit.records"), 16);
+        assert_eq!(summary.counter("lsm.wal.group_commit.batches"), 1);
+        assert_eq!(summary.counter("lsm.wal.group_commit.fsyncs"), 1);
+        assert_eq!(w.replay().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn concurrent_writers_all_become_durable() {
+        let (_d, w) = wal();
+        let ctx = tu_obs::TraceContext::start("wal-concurrent");
+        let pool = tu_common::pool::WorkerPool::new(8);
+        pool.run(32, |i| {
+            let ticket = w.append(&rec(i as u64, 1, format!("w{i}").as_bytes()));
+            w.flush().unwrap();
+            // The wave covering our ticket has landed by the time flush
+            // returns, whether we led it or followed.
+            w.commit_up_to(ticket).unwrap();
+        });
+        let summary = ctx.finish();
+        let got = w.replay().unwrap();
+        assert_eq!(got.len(), 32);
+        assert_eq!(summary.counter("lsm.wal.group_commit.records"), 32);
+        // Waves never outnumber flush calls; under contention they merge.
+        assert!(summary.counter("lsm.wal.group_commit.fsyncs") <= 32);
+    }
+
+    #[test]
+    fn nudge_flushes_when_idle() {
+        let (_d, w) = wal();
+        w.append(&rec(9, 1, b"bg"));
+        w.nudge().unwrap();
+        assert_eq!(w.replay().unwrap().len(), 1);
+        // Nudging an empty buffer is a no-op.
+        w.nudge().unwrap();
+        assert_eq!(w.replay().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn commit_up_to_zero_is_trivially_durable() {
+        let (_d, w) = wal();
+        w.commit_up_to(0).unwrap();
+    }
+
+    #[test]
+    fn purge_excludes_concurrent_waves() {
+        let (_d, w) = wal();
+        w.append(&rec(1, 1, b"old"));
+        w.append(&ckpt(1, 1));
+        // Concurrent appends during the purge must survive it.
+        let pool = tu_common::pool::WorkerPool::new(4);
+        pool.run(4, |i| {
+            if i == 0 {
+                w.purge().unwrap();
+            } else {
+                w.append(&rec(2, i as u64, b"live"));
+                w.flush().unwrap();
+            }
+        });
+        w.flush().unwrap();
+        let got = w.replay().unwrap();
+        let live = got.iter().filter(|r| r.stream == 2).count();
+        assert_eq!(live, 3, "appends raced away by purge: {got:?}");
     }
 
     #[test]
