@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tu_common::Sample;
+use tu_compress::agg::AggKind;
 use tu_compress::nullxor::{GroupChunkDecoder, GroupChunkEncoder};
 use tu_compress::{gorilla, snappy};
 
@@ -65,6 +66,83 @@ fn bench_group_chunk(c: &mut Criterion) {
     g.finish();
 }
 
+/// Decode throughput (samples/sec): the streaming fold and reusable
+/// columnar-buffer paths the aggregation pushdown rides, against the
+/// materializing `decode_all` baseline.
+fn bench_decode_throughput(c: &mut Criterion) {
+    let data = samples(120);
+    let encoded = gorilla::compress_chunk_framed(&data).unwrap();
+    let mut g = c.benchmark_group("decode_throughput");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("materialize_decode_all_120", |b| {
+        b.iter(|| {
+            gorilla::ChunkDecoder::new(std::hint::black_box(&encoded))
+                .unwrap()
+                .decode_all()
+                .unwrap()
+        })
+    });
+    g.bench_function("streaming_fold_sum_120", |b| {
+        b.iter(|| {
+            gorilla::ChunkDecoder::new(std::hint::black_box(&encoded))
+                .unwrap()
+                .fold(AggKind::Sum)
+                .unwrap()
+        })
+    });
+    g.bench_function("streaming_for_each_120", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            gorilla::ChunkDecoder::new(std::hint::black_box(&encoded))
+                .unwrap()
+                .for_each(|_, v| acc += v)
+                .unwrap();
+            acc
+        })
+    });
+    g.bench_function("columnar_decode_into_120", |b| {
+        let mut ts = Vec::new();
+        let mut vs = Vec::new();
+        b.iter(|| {
+            gorilla::ChunkDecoder::new(std::hint::black_box(&encoded))
+                .unwrap()
+                .decode_into(&mut ts, &mut vs)
+                .unwrap();
+            ts.len() + vs.len()
+        })
+    });
+    g.finish();
+
+    // Same comparison for one NULL-XOR group column.
+    let cols = 101usize;
+    let rows = 32usize;
+    let mut enc = GroupChunkEncoder::new(cols);
+    for r in 0..rows {
+        let values: Vec<Option<f64>> = (0..cols)
+            .map(|m| (m % 10 != 0).then(|| m as f64 + r as f64 * 0.1))
+            .collect();
+        enc.append_row(r as i64 * 30_000, &values).unwrap();
+    }
+    let group = enc.finish_framed();
+    let mut g = c.benchmark_group("decode_throughput_group");
+    g.throughput(Throughput::Elements(rows as u64));
+    g.bench_function("materialize_one_column", |b| {
+        b.iter(|| {
+            let d = GroupChunkDecoder::new(std::hint::black_box(&group)).unwrap();
+            (d.decode_timestamps().unwrap(), d.decode_column(50).unwrap())
+        })
+    });
+    g.bench_function("streaming_fold_one_column", |b| {
+        let mut ts = Vec::new();
+        b.iter(|| {
+            let d = GroupChunkDecoder::new(std::hint::black_box(&group)).unwrap();
+            d.decode_timestamps_into(&mut ts).unwrap();
+            d.fold_column(50, AggKind::Max, &ts).unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_snappy(c: &mut Criterion) {
     let block: Vec<u8> = (0..4096u32)
         .flat_map(|i| ((i / 16) as u16).to_le_bytes())
@@ -85,5 +163,11 @@ fn bench_snappy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gorilla, bench_group_chunk, bench_snappy);
+criterion_group!(
+    benches,
+    bench_gorilla,
+    bench_group_chunk,
+    bench_decode_throughput,
+    bench_snappy
+);
 criterion_main!(benches);

@@ -1,0 +1,325 @@
+//! Aggregation-pushdown benchmark: step-windowed MAX and SUM over the
+//! TSBS DevOps workload, the materialize-then-fold baseline against
+//! `TimeUnion::query_aggregate`, at 1/2/8 query threads. Reported as
+//! `BENCH_agg_pushdown.json`.
+//!
+//! ```text
+//! cargo run -p tu-bench --release --bin agg_scaling [-- --quick] [--out PATH]
+//! ```
+//!
+//! The measured quantity is the `fanout` stage of the query profile —
+//! where every per-series select + decode happens. The baseline runs
+//! `query_profiled` (materializing every sample through the merge path)
+//! and folds with `aggregate_step`; the pushdown runs
+//! `query_aggregate_profiled`, which answers fully-covered chunks from
+//! their stats footers, skips value-disqualified chunks, and
+//! stream-folds the rest without building sample vectors. Each run also
+//! pins a digest over `(labels, window_ts, value_bits)` so every
+//! (path, thread-count) pair is proven bit-identical.
+
+use std::time::Instant;
+
+use tu_cloud::cost::LatencyMode;
+use tu_common::{Labels, Result, Sample};
+use tu_core::engine::{Options, TimeUnion};
+use tu_core::{aggregate_step, AggKind};
+use tu_index::Selector;
+use tu_lsm::TreeOptions;
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+const KINDS: [AggKind; 2] = [AggKind::Max, AggKind::Sum];
+
+struct Run {
+    kind: AggKind,
+    threads: usize,
+    baseline_fanout_ms: f64,
+    pushdown_fanout_ms: f64,
+    baseline_wall_ms: f64,
+    pushdown_wall_ms: f64,
+    pushdown_chunks: u64,
+    meta_answered: u64,
+    skipped_chunks: u64,
+    series: usize,
+    windows: usize,
+    digest: String,
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("agg_scaling failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// FNV-1a over the aggregate rows: labels bytes, window timestamp, and
+/// the value's raw bits — bit-identity, not approximate equality.
+fn digest_rows(rows: &[(Labels, Vec<Sample>)]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (labels, samples) in rows {
+        eat(&labels.to_bytes());
+        for s in samples {
+            eat(&s.t.to_le_bytes());
+            eat(&s.v.to_bits().to_le_bytes());
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_agg_pushdown.json")
+        .to_string();
+
+    let hosts = 8usize;
+    let hours: i64 = if quick { 1 } else { 4 };
+    let interval_s: i64 = 10;
+    let duration_ms = hours * 3_600_000;
+    let chunk_samples = 64usize;
+    let step_ms: i64 = 1_800_000; // 30 min windows ≫ the ~640 s chunk span
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts,
+        interval_ms: interval_s * 1000,
+        duration_ms,
+        ..DevOpsOptions::default()
+    });
+
+    let opts = Options {
+        chunk_samples,
+        index_slots_per_segment: 1 << 16,
+        latency: LatencyMode::Virtual,
+        tree: TreeOptions {
+            memtable_bytes: 1 << 20,
+            max_sstable_bytes: 1 << 20,
+            l0_partition_ms: duration_ms / 4,
+            l2_partition_ms: duration_ms,
+            ..TreeOptions::default()
+        },
+        ..Options::default()
+    };
+
+    let dir = tempfile::tempdir()?;
+    let db = TimeUnion::open(dir.path().join("tu"), opts)?;
+
+    eprintln!(
+        "ingesting {} samples ({hosts} hosts x {} metrics x {} steps)...",
+        gen.total_samples(),
+        gen.metric_names().len(),
+        gen.steps()
+    );
+    let metrics = gen.metric_names().len();
+    let mut ids: Vec<Vec<u64>> = Vec::new();
+    for host in 0..hosts {
+        let mut row = Vec::with_capacity(metrics);
+        for metric in 0..metrics {
+            row.push(db.put(
+                &gen.series_labels(host, metric),
+                gen.ts_of(0),
+                gen.value(host, metric, 0),
+            )?);
+        }
+        ids.push(row);
+    }
+    // Everything but a short tail lands in stats-framed SSTable chunks;
+    // the tail stays in live head chunks so the pushdown must splice both.
+    let steps = gen.steps();
+    let tail = 16.min(steps - 1);
+    for step in 1..steps - tail {
+        let t = gen.ts_of(step);
+        for (host, row) in ids.iter().enumerate() {
+            for (metric, id) in row.iter().enumerate() {
+                db.put_by_id(*id, t, gen.value(host, metric, step))?;
+            }
+        }
+    }
+    db.flush_all()?;
+    for step in steps - tail..steps {
+        let t = gen.ts_of(step);
+        for (host, row) in ids.iter().enumerate() {
+            for (metric, id) in row.iter().enumerate() {
+                db.put_by_id(*id, t, gen.value(host, metric, step))?;
+            }
+        }
+    }
+
+    let queries: Vec<Vec<Selector>> = (0..hosts)
+        .map(|h| vec![Selector::exact("hostname", format!("host_{h}"))])
+        .collect();
+    // Warm-up so every measured run sees identical cache/table state.
+    for sel in &queries {
+        db.query(sel, 0, gen.end_ms())?;
+    }
+
+    let fanout_ns = |profile: &tu_core::profile::QueryProfile| {
+        profile
+            .stages
+            .iter()
+            .find(|s| s.name == "fanout")
+            .map(|s| s.total_ns)
+            .unwrap_or(0)
+    };
+
+    let reps: usize = if quick { 3 } else { 5 };
+    let mut runs: Vec<Run> = Vec::new();
+    for kind in KINDS {
+        for threads in THREAD_SWEEP {
+            db.set_query_threads(threads);
+
+            // Baseline: materialize every sample, then fold. Best-of-reps
+            // keeps scheduler noise out of the stage timing.
+            let mut base_fanout = u64::MAX;
+            let mut baseline_wall_ms = f64::MAX;
+            let mut base_rows: Vec<(Labels, Vec<Sample>)> = Vec::new();
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let mut fanout = 0u64;
+                base_rows.clear();
+                for sel in &queries {
+                    let (res, profile) = db.query_profiled(sel, 0, gen.end_ms())?;
+                    fanout += fanout_ns(&profile);
+                    for s in res {
+                        let agg = aggregate_step(kind, &s.samples, 0, gen.end_ms(), step_ms);
+                        if !agg.is_empty() {
+                            base_rows.push((s.labels, agg));
+                        }
+                    }
+                }
+                base_fanout = base_fanout.min(fanout);
+                baseline_wall_ms = baseline_wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+
+            // Pushdown: the same aggregate straight off chunk stats +
+            // streaming decode.
+            let mut push_fanout = u64::MAX;
+            let mut pushdown_wall_ms = f64::MAX;
+            let (mut chunks, mut meta, mut skipped) = (0u64, 0u64, 0u64);
+            let mut push_rows: Vec<(Labels, Vec<Sample>)> = Vec::new();
+            for rep in 0..reps {
+                let t1 = Instant::now();
+                let mut fanout = 0u64;
+                push_rows.clear();
+                for sel in &queries {
+                    let (res, profile) =
+                        db.query_aggregate_profiled(sel, kind, 0, gen.end_ms(), step_ms)?;
+                    fanout += fanout_ns(&profile);
+                    if rep == 0 {
+                        let c = |name: &str| profile.counters.get(name).copied().unwrap_or(0);
+                        chunks += c("core.query.agg.pushdown_chunks");
+                        meta += c("core.query.agg.meta_answered");
+                        skipped += c("core.query.agg.skipped_chunks");
+                    }
+                    push_rows.extend(res.into_iter().map(|s| (s.labels, s.samples)));
+                }
+                push_fanout = push_fanout.min(fanout);
+                pushdown_wall_ms = pushdown_wall_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+            }
+
+            let digest = digest_rows(&push_rows);
+            assert_eq!(
+                digest,
+                digest_rows(&base_rows),
+                "{kind:?} @ {threads} threads: pushdown diverged from reference fold"
+            );
+
+            let run = Run {
+                kind,
+                threads,
+                baseline_fanout_ms: base_fanout as f64 / 1e6,
+                pushdown_fanout_ms: push_fanout as f64 / 1e6,
+                baseline_wall_ms,
+                pushdown_wall_ms,
+                pushdown_chunks: chunks,
+                meta_answered: meta,
+                skipped_chunks: skipped,
+                series: push_rows.len(),
+                windows: push_rows.iter().map(|(_, s)| s.len()).sum(),
+                digest,
+            };
+            eprintln!(
+                "{} @ {} threads: fanout {:.1}ms -> {:.1}ms ({:.1}x); {} meta-answered, {} skipped, {} decoded",
+                kind.name(),
+                threads,
+                run.baseline_fanout_ms,
+                run.pushdown_fanout_ms,
+                run.baseline_fanout_ms / run.pushdown_fanout_ms.max(1e-9),
+                meta,
+                skipped,
+                chunks
+            );
+            runs.push(run);
+        }
+    }
+
+    // Bit-identity across thread counts, per kind.
+    for kind in KINDS {
+        let of_kind: Vec<&Run> = runs.iter().filter(|r| r.kind == kind).collect();
+        for r in &of_kind[1..] {
+            assert_eq!(
+                r.digest, of_kind[0].digest,
+                "{kind:?}: thread count {} changed the aggregate",
+                r.threads
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"agg_pushdown\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"hosts\": {hosts}, \"metrics_per_host\": {metrics}, \"interval_s\": {interval_s}, \"hours\": {hours}, \"total_samples\": {}, \"chunk_samples\": {chunk_samples}, \"step_ms\": {step_ms}}},\n",
+        gen.total_samples()
+    ));
+    json.push_str("  \"digests_match\": true,\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"threads\": {}, \"baseline_fanout_ms\": {:.2}, \"pushdown_fanout_ms\": {:.2}, \"decode_speedup\": {:.2}, \"baseline_wall_ms\": {:.2}, \"pushdown_wall_ms\": {:.2}, \"pushdown_chunks\": {}, \"meta_answered\": {}, \"skipped_chunks\": {}, \"series\": {}, \"windows\": {}, \"digest\": \"{}\"}}{}\n",
+            r.kind.name(),
+            r.threads,
+            r.baseline_fanout_ms,
+            r.pushdown_fanout_ms,
+            r.baseline_fanout_ms / r.pushdown_fanout_ms.max(1e-9),
+            r.baseline_wall_ms,
+            r.pushdown_wall_ms,
+            r.pushdown_chunks,
+            r.meta_answered,
+            r.skipped_chunks,
+            r.series,
+            r.windows,
+            r.digest,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json)?;
+
+    println!("{json}");
+    for kind in KINDS {
+        let r = runs
+            .iter()
+            .filter(|r| r.kind == kind)
+            .max_by_key(|r| r.threads)
+            .expect("sweep is non-empty");
+        println!(
+            "{} @ {} threads: select/decode stage {:.1}ms -> {:.1}ms ({:.1}x)",
+            kind.name(),
+            r.threads,
+            r.baseline_fanout_ms,
+            r.pushdown_fanout_ms,
+            r.baseline_fanout_ms / r.pushdown_fanout_ms.max(1e-9)
+        );
+    }
+    println!("report written to {out_path}");
+    Ok(())
+}

@@ -101,13 +101,38 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `n` bits into the low bits of a u64, most significant first.
+    ///
+    /// One bounds check up front covers the whole read, and bits are
+    /// extracted a byte at a time instead of via `n` `read_bit` calls —
+    /// this is the decode hot loop for every codec in the crate.
     #[inline]
     pub fn read_bits(&mut self, n: u8) -> Result<u64> {
         debug_assert!(n <= 64);
-        let mut out = 0u64;
-        for _ in 0..n {
-            out = (out << 1) | self.read_bit()? as u64;
+        let mut pos = self.pos;
+        let mut left = n as usize;
+        if pos + left > self.buf.len() * 8 {
+            return Err(Error::corruption("bitstream exhausted"));
         }
+        let byte = pos / 8;
+        let off = pos % 8;
+        // Fast path: one unaligned big-endian word load covers any read
+        // of up to 56 bits at any bit offset (off + n <= 63).
+        if left >= 1 && left <= 56 && byte + 8 <= self.buf.len() {
+            let word = u64::from_be_bytes(self.buf[byte..byte + 8].try_into().expect("8 bytes"));
+            self.pos = pos + left;
+            return Ok((word << off) >> (64 - left));
+        }
+        let mut out = 0u64;
+        while left > 0 {
+            let bit_off = pos % 8;
+            let take = (8 - bit_off).min(left);
+            // Shift consumed high bits out, then keep the top `take` bits.
+            let chunk = (self.buf[pos / 8] << bit_off) >> (8 - take);
+            out = (out << take) | u64::from(chunk);
+            pos += take;
+            left -= take;
+        }
+        self.pos = pos;
         Ok(out)
     }
 }

@@ -7,6 +7,7 @@
 //! [`crate::nullxor`]; [`ChunkEncoder`]/[`ChunkDecoder`] wrap them into the
 //! self-contained chunk bytes stored for individual timeseries.
 
+use crate::agg::{self, AggKind, AggState, ChunkStats};
 use crate::bitstream::{BitReader, BitWriter};
 use tu_common::varint;
 use tu_common::{Error, Result, Sample, Timestamp, Value};
@@ -266,6 +267,7 @@ pub struct ChunkEncoder {
     count: u16,
     first_ts: Timestamp,
     last_ts: Timestamp,
+    stats: AggState,
 }
 
 impl Default for ChunkEncoder {
@@ -283,6 +285,7 @@ impl ChunkEncoder {
             count: 0,
             first_ts: 0,
             last_ts: i64::MIN,
+            stats: AggState::new(),
         }
     }
 
@@ -299,9 +302,15 @@ impl ChunkEncoder {
         }
         self.ts.encode(&mut self.w, t);
         self.xor.encode(&mut self.w, v);
+        self.stats.observe(t, v);
         self.last_ts = t;
         self.count += 1;
         Ok(())
+    }
+
+    /// Stats footer for the samples appended so far (`None` when empty).
+    pub fn stats(&self) -> Option<ChunkStats> {
+        ChunkStats::from_fold(&self.stats)
     }
 
     pub fn count(&self) -> u16 {
@@ -336,28 +345,51 @@ impl ChunkEncoder {
         out.extend_from_slice(&body);
         out
     }
+
+    /// Serializes the chunk inside a stats envelope
+    /// ([`crate::agg::frame_with_stats`]). Empty chunks are emitted in
+    /// the legacy layout (there is nothing to summarize).
+    pub fn finish_framed(self) -> Vec<u8> {
+        let stats = self.stats();
+        let inner = self.finish();
+        match stats {
+            Some(stats) => agg::frame_with_stats(&stats, &inner),
+            None => inner,
+        }
+    }
 }
 
 /// Decoder for chunks produced by [`ChunkEncoder`].
+///
+/// Accepts both stats-framed (version 1) and legacy pre-stats bytes;
+/// [`ChunkDecoder::stats`] exposes the footer when one was present.
 pub struct ChunkDecoder<'a> {
     r: BitReader<'a>,
     ts: TsCodec,
     xor: XorDecoder,
     remaining: u16,
+    stats: Option<ChunkStats>,
 }
 
 impl<'a> ChunkDecoder<'a> {
     pub fn new(bytes: &'a [u8]) -> Result<Self> {
-        if bytes.len() < 2 {
+        let (stats, inner) = agg::split_envelope(bytes);
+        if inner.len() < 2 {
             return Err(Error::corruption("chunk shorter than its header"));
         }
-        let count = u16::from_le_bytes([bytes[0], bytes[1]]);
+        let count = u16::from_le_bytes([inner[0], inner[1]]);
         Ok(ChunkDecoder {
-            r: BitReader::new(&bytes[2..]),
+            r: BitReader::new(&inner[2..]),
             ts: TsCodec::new(),
             xor: XorDecoder::new(),
             remaining: count,
+            stats,
         })
+    }
+
+    /// The per-chunk stats footer, when the chunk was stats-framed.
+    pub fn stats(&self) -> Option<&ChunkStats> {
+        self.stats.as_ref()
     }
 
     /// Number of samples not yet decoded.
@@ -376,17 +408,59 @@ impl<'a> ChunkDecoder<'a> {
         Ok(Some(Sample::new(t, v)))
     }
 
+    /// Streams every remaining sample through `f` without materializing
+    /// a sample vector; the inner loop carries no per-sample `Option` or
+    /// `Result` wrapping.
+    pub fn for_each(mut self, mut f: impl FnMut(Timestamp, Value)) -> Result<()> {
+        for _ in 0..self.remaining {
+            let t = self.ts.decode(&mut self.r)?;
+            let v = self.xor.decode(&mut self.r)?;
+            f(t, v);
+        }
+        self.remaining = 0;
+        Ok(())
+    }
+
+    /// Streaming fold: computes one [`AggKind`] over the remaining
+    /// samples in a single pass, without materializing them. `None`
+    /// means the aggregate is undefined (empty chunk; rate over fewer
+    /// than two samples).
+    pub fn fold(self, kind: AggKind) -> Result<Option<Value>> {
+        let mut st = AggState::new();
+        self.for_each(|t, v| st.observe(t, v))?;
+        Ok(st.value(kind))
+    }
+
+    /// Batch decode into reusable columnar buffers. The buffers are
+    /// cleared first, so callers can recycle them across chunks.
+    pub fn decode_into(mut self, ts: &mut Vec<Timestamp>, vs: &mut Vec<Value>) -> Result<()> {
+        ts.clear();
+        vs.clear();
+        ts.reserve(self.remaining as usize);
+        vs.reserve(self.remaining as usize);
+        for _ in 0..self.remaining {
+            ts.push(self.ts.decode(&mut self.r)?);
+            vs.push(self.xor.decode(&mut self.r)?);
+        }
+        self.remaining = 0;
+        Ok(())
+    }
+
     /// Decodes all remaining samples.
     pub fn decode_all(mut self) -> Result<Vec<Sample>> {
         let mut out = Vec::with_capacity(self.remaining as usize);
-        while let Some(s) = self.next_sample()? {
-            out.push(s);
+        for _ in 0..self.remaining {
+            let t = self.ts.decode(&mut self.r)?;
+            let v = self.xor.decode(&mut self.r)?;
+            out.push(Sample::new(t, v));
         }
+        self.remaining = 0;
         Ok(out)
     }
 }
 
-/// Convenience: compresses a sorted slice of samples into chunk bytes.
+/// Convenience: compresses a sorted slice of samples into chunk bytes
+/// (legacy layout, no stats envelope).
 pub fn compress_chunk(samples: &[Sample]) -> Result<Vec<u8>> {
     let mut enc = ChunkEncoder::new();
     for s in samples {
@@ -395,7 +469,17 @@ pub fn compress_chunk(samples: &[Sample]) -> Result<Vec<u8>> {
     Ok(enc.finish())
 }
 
-/// Convenience: decompresses chunk bytes into samples.
+/// Convenience: compresses a sorted slice of samples into stats-framed
+/// chunk bytes. This is what the engine seal paths write.
+pub fn compress_chunk_framed(samples: &[Sample]) -> Result<Vec<u8>> {
+    let mut enc = ChunkEncoder::new();
+    for s in samples {
+        enc.append(s.t, s.v)?;
+    }
+    Ok(enc.finish_framed())
+}
+
+/// Convenience: decompresses chunk bytes (framed or legacy) into samples.
 pub fn decompress_chunk(bytes: &[u8]) -> Result<Vec<Sample>> {
     ChunkDecoder::new(bytes)?.decode_all()
 }
@@ -475,6 +559,77 @@ mod tests {
             Sample::new(i64::MAX / 2, 1e-300),
         ];
         round_trip(&samples);
+    }
+
+    #[test]
+    fn framed_chunk_round_trips_and_exposes_stats() {
+        let samples = vec![
+            Sample::new(1_000, 4.0),
+            Sample::new(2_000, -2.5),
+            Sample::new(3_000, f64::NAN),
+            Sample::new(4_000, 9.0),
+        ];
+        let framed = compress_chunk_framed(&samples).unwrap();
+        let legacy = compress_chunk(&samples).unwrap();
+        assert_eq!(framed.len(), legacy.len() + agg::ENVELOPE_HEADER_LEN);
+
+        let dec = ChunkDecoder::new(&framed).unwrap();
+        let stats = *dec.stats().expect("framed chunk carries stats");
+        assert_eq!(stats.min_ts, 1_000);
+        assert_eq!(stats.max_ts, 4_000);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.min_v, -2.5);
+        assert_eq!(stats.max_v, 9.0);
+        // Sum folds in order and keeps NaN (4.0 + -2.5 + NaN + 9.0).
+        assert!(stats.sum.is_nan());
+        let back = dec.decode_all().unwrap();
+        assert_eq!(back.len(), samples.len());
+
+        // Legacy bytes decode with no stats.
+        let dec = ChunkDecoder::new(&legacy).unwrap();
+        assert!(dec.stats().is_none());
+        assert_eq!(dec.decode_all().unwrap().len(), samples.len());
+    }
+
+    #[test]
+    fn streaming_paths_match_decode_all() {
+        let samples: Vec<Sample> = (0..200)
+            .map(|i| Sample::new(i * 5_000 + (i % 3), ((i * 37) % 11) as f64 - 4.5))
+            .collect();
+        let bytes = compress_chunk_framed(&samples).unwrap();
+
+        let mut streamed = Vec::new();
+        ChunkDecoder::new(&bytes)
+            .unwrap()
+            .for_each(|t, v| streamed.push(Sample::new(t, v)))
+            .unwrap();
+        assert_eq!(streamed, samples);
+
+        let (mut ts, mut vs) = (Vec::new(), Vec::new());
+        ChunkDecoder::new(&bytes)
+            .unwrap()
+            .decode_into(&mut ts, &mut vs)
+            .unwrap();
+        assert_eq!(ts.len(), samples.len());
+        assert!(ts
+            .iter()
+            .zip(&vs)
+            .zip(&samples)
+            .all(|((t, v), s)| *t == s.t && v.to_bits() == s.v.to_bits()));
+
+        // Fold agrees with materialize-then-fold for every kind.
+        for kind in AggKind::ALL {
+            let folded = ChunkDecoder::new(&bytes).unwrap().fold(kind).unwrap();
+            let mut st = AggState::new();
+            for s in &samples {
+                st.observe(s.t, s.v);
+            }
+            assert_eq!(
+                folded.map(Value::to_bits),
+                st.value(kind).map(Value::to_bits),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]

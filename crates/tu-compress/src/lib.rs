@@ -10,7 +10,11 @@
 //!   used to compress SSTable data blocks (Table 3 attributes part of
 //!   TimeUnion's data-size win to it).
 //! * [`crc`] — CRC32C checksums guarding every persisted block.
+//! * [`agg`] — aggregation pushdown primitives: the shared [`agg::AggState`]
+//!   fold, the per-chunk [`agg::ChunkStats`] footer, and the versioned
+//!   stats envelope framing sealed chunks.
 
+pub mod agg;
 pub mod bitstream;
 pub mod crc;
 pub mod gorilla;

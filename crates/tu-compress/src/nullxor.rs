@@ -16,6 +16,7 @@
 //! repeat per column: varint len | column bitstream
 //! ```
 
+use crate::agg::{self, AggKind, AggState, ChunkStats};
 use crate::bitstream::{BitReader, BitWriter};
 use crate::gorilla::{TsCodec, XorDecoder, XorEncoder};
 use tu_common::varint;
@@ -60,6 +61,7 @@ pub struct GroupChunkEncoder {
     rows: u16,
     first_ts: Timestamp,
     last_ts: Timestamp,
+    vstats: AggState,
 }
 
 impl Default for GroupChunkEncoder {
@@ -78,6 +80,7 @@ impl GroupChunkEncoder {
             rows: 0,
             first_ts: 0,
             last_ts: i64::MIN,
+            vstats: AggState::new(),
         }
     }
 
@@ -136,10 +139,30 @@ impl GroupChunkEncoder {
         self.ts.encode(&mut self.ts_w, t);
         for (col, v) in self.cols.iter_mut().zip(values) {
             col.push(*v);
+            if let Some(v) = *v {
+                self.vstats.observe(t, v);
+            }
         }
         self.last_ts = t;
         self.rows += 1;
         Ok(())
+    }
+
+    /// Stats footer over the chunk: time bounds from the shared timestamp
+    /// column, value bounds/sum/count folded across the present (non-NULL)
+    /// values of every column. `None` when the chunk has no rows.
+    pub fn stats(&self) -> Option<ChunkStats> {
+        if self.rows == 0 {
+            return None;
+        }
+        Some(ChunkStats {
+            min_ts: self.first_ts,
+            max_ts: self.last_ts,
+            count: self.vstats.count.min(u64::from(u32::MAX)) as u32,
+            min_v: self.vstats.min,
+            max_v: self.vstats.max,
+            sum: self.vstats.sum,
+        })
     }
 
     /// Approximate serialized size in bytes.
@@ -167,17 +190,33 @@ impl GroupChunkEncoder {
         }
         out
     }
+
+    /// Serializes the chunk inside a stats envelope; chunks with no rows
+    /// fall back to the legacy layout.
+    pub fn finish_framed(self) -> Vec<u8> {
+        let stats = self.stats();
+        let inner = self.finish();
+        match stats {
+            Some(stats) => agg::frame_with_stats(&stats, &inner),
+            None => inner,
+        }
+    }
 }
 
 /// Decoder for group chunks.
+///
+/// Accepts both stats-framed (version 1) and legacy pre-stats bytes;
+/// [`GroupChunkDecoder::stats`] exposes the footer when present.
 pub struct GroupChunkDecoder<'a> {
     rows: u16,
     ts_bytes: &'a [u8],
     col_bytes: Vec<&'a [u8]>,
+    stats: Option<ChunkStats>,
 }
 
 impl<'a> GroupChunkDecoder<'a> {
-    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+    pub fn new(outer: &'a [u8]) -> Result<Self> {
+        let (stats, bytes) = agg::split_envelope(outer);
         if bytes.len() < 4 {
             return Err(Error::corruption("group chunk shorter than its header"));
         }
@@ -209,6 +248,7 @@ impl<'a> GroupChunkDecoder<'a> {
             rows,
             ts_bytes,
             col_bytes,
+            stats,
         })
     }
 
@@ -220,15 +260,91 @@ impl<'a> GroupChunkDecoder<'a> {
         self.col_bytes.len()
     }
 
+    /// The per-chunk stats footer, when the chunk was stats-framed.
+    pub fn stats(&self) -> Option<&ChunkStats> {
+        self.stats.as_ref()
+    }
+
     /// Decodes the shared timestamp column.
     pub fn decode_timestamps(&self) -> Result<Vec<Timestamp>> {
+        let mut out = Vec::new();
+        self.decode_timestamps_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes the shared timestamp column into a reusable buffer
+    /// (cleared first).
+    pub fn decode_timestamps_into(&self, out: &mut Vec<Timestamp>) -> Result<()> {
         let mut r = BitReader::new(self.ts_bytes);
         let mut codec = TsCodec::new();
-        let mut out = Vec::with_capacity(self.rows as usize);
+        out.clear();
+        out.reserve(self.rows as usize);
         for _ in 0..self.rows {
             out.push(codec.decode(&mut r)?);
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Streams the present (non-NULL) samples of one column through `f`,
+    /// pairing each with the already-decoded shared timestamps, without
+    /// materializing an `Option<Value>` vector.
+    pub fn for_each_in_column(
+        &self,
+        idx: usize,
+        ts: &[Timestamp],
+        mut f: impl FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        let bytes = self
+            .col_bytes
+            .get(idx)
+            .ok_or_else(|| Error::invalid(format!("column {idx} out of range")))?;
+        if ts.len() != self.rows as usize {
+            return Err(Error::invalid(format!(
+                "timestamp buffer has {} rows but the chunk has {}",
+                ts.len(),
+                self.rows
+            )));
+        }
+        let mut r = BitReader::new(bytes);
+        let mut xor = XorDecoder::new();
+        for &t in ts {
+            if r.read_bit()? {
+                f(t, xor.decode(&mut r)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Streaming fold: computes one [`AggKind`] over the present samples
+    /// of one column in a single pass. `None` means the aggregate is
+    /// undefined for the column (all NULL; rate over fewer than two
+    /// samples).
+    pub fn fold_column(
+        &self,
+        idx: usize,
+        kind: AggKind,
+        ts: &[Timestamp],
+    ) -> Result<Option<Value>> {
+        let mut st = AggState::new();
+        self.for_each_in_column(idx, ts, |t, v| st.observe(t, v))?;
+        Ok(st.value(kind))
+    }
+
+    /// Batch decode of one column into reusable columnar buffers holding
+    /// only the present samples (buffers are cleared first).
+    pub fn decode_column_into(
+        &self,
+        idx: usize,
+        ts: &[Timestamp],
+        out_ts: &mut Vec<Timestamp>,
+        out_vs: &mut Vec<Value>,
+    ) -> Result<()> {
+        out_ts.clear();
+        out_vs.clear();
+        self.for_each_in_column(idx, ts, |t, v| {
+            out_ts.push(t);
+            out_vs.push(v);
+        })
     }
 
     /// Decodes one value column; `None` entries are NULL rows.
@@ -368,6 +484,84 @@ mod tests {
             (group_bytes as f64) < individual as f64 * 0.7,
             "group {group_bytes} B vs individual {individual} B"
         );
+    }
+
+    #[test]
+    fn framed_group_chunk_round_trips_and_exposes_stats() {
+        let mut enc = GroupChunkEncoder::new(2);
+        enc.append_row(10, &[Some(1.0), None]).unwrap();
+        enc.append_row(20, &[Some(-3.0), Some(8.0)]).unwrap();
+        enc.append_row(30, &[None, Some(2.0)]).unwrap();
+        let legacy_len = enc.clone().finish().len();
+        let framed = enc.finish_framed();
+        assert_eq!(framed.len(), legacy_len + agg::ENVELOPE_HEADER_LEN);
+
+        let dec = GroupChunkDecoder::new(&framed).unwrap();
+        let stats = *dec.stats().expect("framed group chunk carries stats");
+        assert_eq!(stats.min_ts, 10);
+        assert_eq!(stats.max_ts, 30);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.min_v, -3.0);
+        assert_eq!(stats.max_v, 8.0);
+        assert_eq!(dec.rows(), 3);
+        assert_eq!(dec.decode_timestamps().unwrap(), vec![10, 20, 30]);
+        assert_eq!(
+            dec.decode_column(0).unwrap(),
+            vec![Some(1.0), Some(-3.0), None]
+        );
+    }
+
+    #[test]
+    fn streaming_column_paths_match_decode_column() {
+        let ts: Vec<i64> = (0..40).map(|i| i * 15_000 + (i % 5)).collect();
+        let mut enc = GroupChunkEncoder::new(3);
+        for (i, &t) in ts.iter().enumerate() {
+            let vals: Vec<Option<f64>> = (0..3)
+                .map(|c| ((i + c) % 4 != 0).then(|| (i * 3 + c) as f64 - 17.5))
+                .collect();
+            enc.append_row(t, &vals).unwrap();
+        }
+        let bytes = enc.finish_framed();
+        let dec = GroupChunkDecoder::new(&bytes).unwrap();
+        let mut ts_buf = Vec::new();
+        dec.decode_timestamps_into(&mut ts_buf).unwrap();
+        assert_eq!(ts_buf, ts);
+
+        for col in 0..3 {
+            let reference: Vec<(i64, f64)> = dec
+                .decode_column(col)
+                .unwrap()
+                .into_iter()
+                .zip(&ts)
+                .filter_map(|(v, &t)| v.map(|v| (t, v)))
+                .collect();
+
+            let mut streamed = Vec::new();
+            dec.for_each_in_column(col, &ts_buf, |t, v| streamed.push((t, v)))
+                .unwrap();
+            assert_eq!(streamed, reference);
+
+            let (mut out_ts, mut out_vs) = (Vec::new(), Vec::new());
+            dec.decode_column_into(col, &ts_buf, &mut out_ts, &mut out_vs)
+                .unwrap();
+            assert_eq!(out_ts.len(), reference.len());
+
+            for kind in AggKind::ALL {
+                let mut st = AggState::new();
+                for &(t, v) in &reference {
+                    st.observe(t, v);
+                }
+                assert_eq!(
+                    dec.fold_column(col, kind, &ts_buf)
+                        .unwrap()
+                        .map(Value::to_bits),
+                    st.value(kind).map(Value::to_bits),
+                    "col {col} {kind:?}"
+                );
+            }
+        }
+        // A mismatched timestamp buffer is rejected, not misread.
+        assert!(dec.for_each_in_column(0, &ts_buf[..5], |_, _| {}).is_err());
     }
 
     #[test]

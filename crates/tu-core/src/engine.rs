@@ -14,6 +14,7 @@ use tu_common::types::is_group_id;
 use tu_common::{
     Error, GroupId, Labels, Result, Sample, SeriesId, SeriesRef, Timestamp, Value, GROUP_ID_FLAG,
 };
+use tu_compress::agg::{self, AggKind, AggState, ChunkStats};
 use tu_compress::{gorilla, nullxor};
 use tu_index::{InvertedIndex, Selector};
 use tu_lsm::wal::{Wal, WalRecord};
@@ -25,7 +26,7 @@ use crate::catalog::{Catalog, CatalogRecord};
 use crate::group::{self, GroupInsert, GroupObject};
 use crate::model;
 use crate::profile::QueryProfile;
-use crate::query::{QueryResult, SampleMerger, SeriesResult};
+use crate::query::{aggregate_step, QueryResult, SampleMerger, SeriesResult, StepWindows};
 use crate::series::{self, HeadInsert, SeriesObject};
 use crate::shard::ShardedMap;
 
@@ -195,6 +196,9 @@ struct EngineObs {
     parallel_tasks: tu_obs::TracedCounter,
     parallel_batches: tu_obs::TracedCounter,
     parallel_ingest_tasks: tu_obs::TracedCounter,
+    agg_pushdown_chunks: tu_obs::TracedCounter,
+    agg_meta_answered: tu_obs::TracedCounter,
+    agg_skipped_chunks: tu_obs::TracedCounter,
 }
 
 impl EngineObs {
@@ -206,6 +210,9 @@ impl EngineObs {
             parallel_tasks: tu_obs::traced("core.query.parallel.tasks"),
             parallel_batches: tu_obs::traced("core.ingest.parallel.batches"),
             parallel_ingest_tasks: tu_obs::traced("core.ingest.parallel.tasks"),
+            agg_pushdown_chunks: tu_obs::traced("core.query.agg.pushdown_chunks"),
+            agg_meta_answered: tu_obs::traced("core.query.agg.meta_answered"),
+            agg_skipped_chunks: tu_obs::traced("core.query.agg.skipped_chunks"),
         }
     }
 }
@@ -769,7 +776,7 @@ impl TimeUnion {
             HeadInsert::OlderThanHead => {
                 // Early flush (§3.1 case 4): a one-sample chunk goes to the
                 // tree's corresponding time partition directly.
-                let chunk = gorilla::compress_chunk(&[Sample::new(t, v)])?;
+                let chunk = gorilla::compress_chunk_framed(&[Sample::new(t, v)])?;
                 self.flush_chunk(id, t, t, chunk, seq)
             }
         }
@@ -983,7 +990,7 @@ impl TimeUnion {
                     row[*slot as usize] = Some(*v);
                 }
                 enc.append_row(t, &row)?;
-                self.flush_chunk(gid, t, t, enc.finish(), seq)
+                self.flush_chunk(gid, t, t, enc.finish_framed(), seq)
             }
         }
     }
@@ -1394,6 +1401,466 @@ impl TimeUnion {
             }
         }
         Ok(out)
+    }
+
+    // --- aggregation pushdown (§3.4 + ROADMAP item 4) --------------------------------
+
+    /// Step-windowed aggregation Get: computes `kind` per aligned
+    /// `step_ms` window over `[start, end)` for every matched timeseries.
+    ///
+    /// Results are **bit-identical** to materializing the same samples
+    /// with [`TimeUnion::query`] and folding them through
+    /// [`aggregate_step`], at any thread count — the pushdown merely
+    /// avoids decoding where it can:
+    ///
+    /// * chunks whose stats footer shows the whole chunk inside one
+    ///   window are merged from metadata alone (`meta_answered`),
+    /// * chunks whose time or value bounds cannot affect the result are
+    ///   skipped outright (`skipped_chunks`),
+    /// * everything else is stream-folded without building sample
+    ///   vectors (`pushdown_chunks`),
+    /// * and any series whose chunks lack stats (pre-stats format) or
+    ///   overlap in time (out-of-order backfill, duplicate timestamps)
+    ///   falls back to the materializing reference path, keeping the
+    ///   merge semantics of `query` exactly.
+    pub fn query_aggregate(
+        &self,
+        selectors: &[Selector],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<QueryResult> {
+        self.query_aggregate_exec(selectors, kind, start, end, step_ms)
+            .map(|(out, _)| out)
+    }
+
+    /// [`TimeUnion::query_aggregate`] under a fresh trace context,
+    /// returning the aggregate rows together with the same stage-timing
+    /// profile `query_profiled` produces (select/fanout/sort spans plus
+    /// the `core.query.agg.*` counter deltas in
+    /// [`QueryProfile::counters`]).
+    pub fn query_aggregate_profiled(
+        &self,
+        selectors: &[Selector],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<(QueryResult, QueryProfile)> {
+        let ctx = tu_obs::TraceContext::start("query_aggregate");
+        let t0 = tu_obs::Stopwatch::start();
+        let (out, matched) = self.query_aggregate_exec(selectors, kind, start, end, step_ms)?;
+        let wall_ns = t0.elapsed_ns();
+        let threads = self.query_threads.load(Ordering::Relaxed);
+        let profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        Ok((out, profile))
+    }
+
+    /// Shared body of `query_aggregate`/`query_aggregate_profiled`,
+    /// mirroring `query_exec`: same index select, same parallel fan-out,
+    /// same label-byte sort.
+    fn query_aggregate_exec(
+        &self,
+        selectors: &[Selector],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<(QueryResult, usize)> {
+        if step_ms <= 0 {
+            return Err(Error::invalid("aggregation step must be positive"));
+        }
+        self.obs.queries.inc();
+        let _span = tu_obs::span("core.query");
+        let ids = {
+            let _stage = tu_obs::span("core.query.select");
+            self.index.select(selectors)?
+        };
+        let pool = tu_common::pool::WorkerPool::new(self.query_threads.load(Ordering::Relaxed));
+        if pool.threads() > 1 && ids.len() > 1 {
+            self.obs.parallel_queries.inc();
+            self.obs.parallel_tasks.add(ids.len() as u64);
+        }
+        let per_id = {
+            let _stage = tu_obs::span("core.query.fanout");
+            pool.run(ids.len(), |i| {
+                let id = ids[i];
+                if is_group_id(id) {
+                    self.aggregate_group(id, selectors, kind, start, end, step_ms)
+                } else {
+                    self.aggregate_series(id, kind, start, end, step_ms)
+                }
+            })
+        };
+        let _stage = tu_obs::span("core.query.sort");
+        let mut out: QueryResult = Vec::new();
+        for r in per_id {
+            out.extend(r?);
+        }
+        out.sort_by_cached_key(|s| s.labels.to_bytes());
+        Ok((out, ids.len()))
+    }
+
+    /// Whether a series' chunk set qualifies for pushdown: every chunk
+    /// carries a stats footer, chunk time ranges are strictly disjoint
+    /// and ascending, and head samples in range lie strictly after every
+    /// sealed chunk. Anything else (pre-stats chunks, out-of-order
+    /// patch chunks, duplicate timestamps across sources) needs the
+    /// merger's newest-wins semantics and falls back.
+    fn pushdown_plan_ok(
+        stats: &[Option<ChunkStats>],
+        heads: &[&[(Timestamp, Value)]],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> bool {
+        let mut prev_max: Option<Timestamp> = None;
+        for s in stats {
+            let Some(s) = s else { return false };
+            if let Some(p) = prev_max {
+                if s.min_ts <= p {
+                    return false;
+                }
+            }
+            prev_max = Some(s.max_ts);
+        }
+        if let Some(p) = prev_max {
+            for head in heads {
+                if head.iter().any(|&(t, _)| t >= start && t < end && t <= p) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn aggregate_series(
+        &self,
+        id: SeriesId,
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<Vec<SeriesResult>> {
+        let Some(obj) = self.series.get(&id) else {
+            return Ok(Vec::new());
+        };
+        let from = start.saturating_sub(self.query_slack());
+        let chunks = self.tree.range_chunks(id, from, end)?;
+        let (head, labels) = {
+            let o = obj.lock();
+            (o.head_samples(&self.series_arena)?, o.labels.clone())
+        };
+        let stats: Vec<Option<ChunkStats>> = chunks
+            .iter()
+            .map(|(_, c)| agg::split_envelope(c).0)
+            .collect();
+        let head_pairs: Vec<(Timestamp, Value)> = head.iter().map(|s| (s.t, s.v)).collect();
+        let samples = if Self::pushdown_plan_ok(&stats, &[&head_pairs], start, end) {
+            self.fold_series_pushdown(&chunks, &stats, &head, kind, start, end, step_ms)?
+        } else {
+            // Reference fallback: materialize through the merger exactly
+            // like `query_series`, then fold.
+            let mut merger = SampleMerger::new(start, end);
+            for (_, chunk) in &chunks {
+                merger.offer_all(gorilla::decompress_chunk(chunk)?);
+            }
+            merger.offer_all(head);
+            aggregate_step(kind, &merger.finish(), start, end, step_ms)
+        };
+        if samples.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![SeriesResult {
+            id,
+            labels,
+            samples,
+        }])
+    }
+
+    /// The per-series pushdown fold. Chunks arrive strictly ascending and
+    /// disjoint (guaranteed by `pushdown_plan_ok`), so folding them in
+    /// order visits samples in exactly the order the reference merger
+    /// emits them.
+    fn fold_series_pushdown(
+        &self,
+        chunks: &[(Timestamp, Vec<u8>)],
+        stats: &[Option<ChunkStats>],
+        head: &[Sample],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<Vec<Sample>> {
+        let mut win = StepWindows::new(start, end, step_ms);
+        // Counter deltas accumulate locally and post once per series:
+        // per-chunk `TracedCounter` increments would charge the active
+        // trace context (a mutex + map update) thousands of times per
+        // query.
+        let (mut n_push, mut n_meta, mut n_skip) = (0u64, 0u64, 0u64);
+        for ((_, chunk), st) in chunks.iter().zip(stats) {
+            let s = st
+                .as_ref()
+                .ok_or_else(|| Error::invalid("pushdown fold requires chunk stats"))?;
+            // Time-bound skip: nothing in [start, end).
+            if s.max_ts < start || s.min_ts >= end {
+                n_skip += 1;
+                continue;
+            }
+            // Meta answering needs the chunk fully inside the query range
+            // and one window.
+            if s.min_ts >= start
+                && s.max_ts < end
+                && win.bucket_of(s.min_ts) == win.bucket_of(s.max_ts)
+            {
+                let bucket = win.bucket_of(s.min_ts);
+                match win.buckets.last_mut() {
+                    Some((b, acc)) if *b == bucket => match kind {
+                        // Value-bound skip: the chunk cannot move this
+                        // window's extremum, so don't even merge.
+                        AggKind::Max
+                            if agg::value_max(acc.max, s.max_v).to_bits() == acc.max.to_bits() =>
+                        {
+                            n_skip += 1;
+                            continue;
+                        }
+                        AggKind::Min
+                            if agg::value_min(acc.min, s.min_v).to_bits() == acc.min.to_bits() =>
+                        {
+                            n_skip += 1;
+                            continue;
+                        }
+                        // Extremum/count merges are associative: exact
+                        // into a non-empty window.
+                        AggKind::Max | AggKind::Min | AggKind::Count => {
+                            acc.merge_stats(s);
+                            n_meta += 1;
+                            continue;
+                        }
+                        // Sum/Avg into a non-empty window would reorder
+                        // float additions; Rate needs first/last samples.
+                        _ => {}
+                    },
+                    _ => {
+                        // A fresh window: the footer answers everything
+                        // except Rate bit-exactly (sum was folded at
+                        // encode time in the same order).
+                        if !matches!(kind, AggKind::Rate) {
+                            let mut acc = AggState::new();
+                            acc.merge_stats(s);
+                            win.buckets.push((bucket, acc));
+                            n_meta += 1;
+                            continue;
+                        }
+                    }
+                }
+                // No meta answer, but every sample still lands in this
+                // one window: fold straight into its accumulator,
+                // skipping the per-sample range check and bucket math.
+                n_push += 1;
+                match win.buckets.last_mut() {
+                    Some((b, acc)) if *b == bucket => {
+                        gorilla::ChunkDecoder::new(chunk)?.for_each(|t, v| acc.observe(t, v))?;
+                    }
+                    _ => {
+                        let mut acc = AggState::new();
+                        gorilla::ChunkDecoder::new(chunk)?.for_each(|t, v| acc.observe(t, v))?;
+                        win.buckets.push((bucket, acc));
+                    }
+                }
+                continue;
+            }
+            // Stream-fold without materializing a sample vector.
+            n_push += 1;
+            gorilla::ChunkDecoder::new(chunk)?.for_each(|t, v| win.observe(t, v))?;
+        }
+        for s in head {
+            win.observe(s.t, s.v);
+        }
+        if n_push > 0 {
+            self.obs.agg_pushdown_chunks.add(n_push);
+        }
+        if n_meta > 0 {
+            self.obs.agg_meta_answered.add(n_meta);
+        }
+        if n_skip > 0 {
+            self.obs.agg_skipped_chunks.add(n_skip);
+        }
+        Ok(win.finish(kind))
+    }
+
+    fn aggregate_group(
+        &self,
+        gid: GroupId,
+        selectors: &[Selector],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> Result<Vec<SeriesResult>> {
+        let mut out = Vec::new();
+        let Some(obj) = self.groups.get(&gid) else {
+            return Ok(out);
+        };
+        let matched: Vec<(SeriesRef, Labels)> = {
+            let g = obj.lock();
+            g.members()
+                .filter_map(|(slot, unique)| {
+                    let full = g.group_tags.merge(unique);
+                    let ok = selectors
+                        .iter()
+                        .all(|sel| full.get(&sel.key).is_some_and(|v| sel.matches_value(v)));
+                    ok.then(|| (slot, full))
+                })
+                .collect()
+        };
+        if matched.is_empty() {
+            return Ok(out);
+        }
+        let from = start.saturating_sub(self.query_slack());
+        let chunks = self.tree.range_chunks(gid, from, end)?;
+        let heads: Vec<Vec<(Timestamp, Value)>> = {
+            let g = obj.lock();
+            matched
+                .iter()
+                .map(|(slot, _)| {
+                    g.head_samples_of(&self.group_ts_arena, &self.group_val_arena, *slot)
+                })
+                .collect::<Result<_>>()?
+        };
+        let stats: Vec<Option<ChunkStats>> = chunks
+            .iter()
+            .map(|(_, c)| agg::split_envelope(c).0)
+            .collect();
+        let head_slices: Vec<&[(Timestamp, Value)]> = heads.iter().map(|h| h.as_slice()).collect();
+        if !Self::pushdown_plan_ok(&stats, &head_slices, start, end) {
+            // Reference fallback: per-member mergers exactly like
+            // `query_group`, then fold.
+            let mut mergers: Vec<SampleMerger> = matched
+                .iter()
+                .map(|_| SampleMerger::new(start, end))
+                .collect();
+            for (_, chunk) in &chunks {
+                let dec = nullxor::GroupChunkDecoder::new(chunk)?;
+                let ts = dec.decode_timestamps()?;
+                for (mi, (slot, _)) in matched.iter().enumerate() {
+                    if (*slot as usize) < dec.columns() {
+                        let col = dec.decode_column(*slot as usize)?;
+                        for (t, v) in ts.iter().zip(col) {
+                            if let Some(v) = v {
+                                mergers[mi].offer(*t, v);
+                            }
+                        }
+                    }
+                }
+            }
+            for (mi, head) in heads.iter().enumerate() {
+                for &(t, v) in head {
+                    mergers[mi].offer(t, v);
+                }
+            }
+            for ((_, full), merger) in matched.into_iter().zip(mergers) {
+                let samples = aggregate_step(kind, &merger.finish(), start, end, step_ms);
+                if !samples.is_empty() {
+                    out.push(SeriesResult {
+                        id: gid,
+                        labels: full,
+                        samples,
+                    });
+                }
+            }
+            return Ok(out);
+        }
+        let mut wins: Vec<StepWindows> = matched
+            .iter()
+            .map(|_| StepWindows::new(start, end, step_ms))
+            .collect();
+        let mut ts_buf: Vec<Timestamp> = Vec::new();
+        let (mut n_push, mut n_skip) = (0u64, 0u64);
+        for ((_, chunk), st) in chunks.iter().zip(&stats) {
+            let s = st
+                .as_ref()
+                .ok_or_else(|| Error::invalid("pushdown fold requires chunk stats"))?;
+            if s.max_ts < start || s.min_ts >= end {
+                n_skip += 1;
+                continue;
+            }
+            // Whole-chunk value-bound skip for extremum queries: sound
+            // only when the chunk sits inside the window every member is
+            // currently filling and the group-wide bounds cannot beat
+            // any member's running extremum.
+            if matches!(kind, AggKind::Max | AggKind::Min) && s.min_ts >= start && s.max_ts < end {
+                let bucket = wins[0].bucket_of(s.min_ts);
+                let contained = bucket == wins[0].bucket_of(s.max_ts);
+                let unbeatable = contained
+                    && wins.iter().all(|w| {
+                        matches!(w.buckets.last(), Some((b, acc)) if *b == bucket
+                        && match kind {
+                            AggKind::Max => {
+                                agg::value_max(acc.max, s.max_v).to_bits()
+                                    == acc.max.to_bits()
+                            }
+                            _ => {
+                                agg::value_min(acc.min, s.min_v).to_bits()
+                                    == acc.min.to_bits()
+                            }
+                        })
+                    });
+                if unbeatable {
+                    n_skip += 1;
+                    continue;
+                }
+            }
+            // Group footers are group-wide, so per-member windows cannot
+            // be meta-answered; decode the shared timestamps once and
+            // stream-fold only the matched columns.
+            let dec = nullxor::GroupChunkDecoder::new(chunk)?;
+            dec.decode_timestamps_into(&mut ts_buf)?;
+            n_push += 1;
+            for (mi, (slot, _)) in matched.iter().enumerate() {
+                if (*slot as usize) < dec.columns() {
+                    let w = &mut wins[mi];
+                    dec.for_each_in_column(*slot as usize, &ts_buf, |t, v| w.observe(t, v))?;
+                }
+            }
+        }
+        if n_push > 0 {
+            self.obs.agg_pushdown_chunks.add(n_push);
+        }
+        if n_skip > 0 {
+            self.obs.agg_skipped_chunks.add(n_skip);
+        }
+        for (mi, head) in heads.iter().enumerate() {
+            for &(t, v) in head {
+                wins[mi].observe(t, v);
+            }
+        }
+        for ((_, full), w) in matched.into_iter().zip(wins) {
+            let samples = w.finish(kind);
+            if !samples.is_empty() {
+                out.push(SeriesResult {
+                    id: gid,
+                    labels: full,
+                    samples,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Test-support hook: injects pre-encoded chunk bytes (any format
+    /// version) straight into the tree, bypassing the head. The
+    /// mixed-version tests use this to plant legacy pre-stats chunks
+    /// next to framed ones.
+    #[doc(hidden)]
+    pub fn debug_put_chunk(
+        &self,
+        stream: u64,
+        first_ts: Timestamp,
+        last_ts: Timestamp,
+        chunk: Vec<u8>,
+    ) -> Result<()> {
+        self.flush_chunk(stream, first_ts, last_ts, chunk, 0)
     }
 
     /// All values recorded for a tag key (label-values API).
@@ -1973,5 +2440,200 @@ mod tests {
         assert!(e
             .put_group(&labels(&[("a", "b")]), &[labels(&[("c", "d")])], 0, &[])
             .is_err());
+    }
+
+    /// Reference for the pushdown path: materialize with `query`, fold
+    /// with `aggregate_step`, drop members with no defined windows.
+    fn reference_aggregate(
+        e: &TimeUnion,
+        sel: &[Selector],
+        kind: AggKind,
+        start: Timestamp,
+        end: Timestamp,
+        step_ms: i64,
+    ) -> QueryResult {
+        e.query(sel, start, end)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| {
+                let samples = aggregate_step(kind, &s.samples, start, end, step_ms);
+                (!samples.is_empty()).then(|| SeriesResult {
+                    id: s.id,
+                    labels: s.labels,
+                    samples,
+                })
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(got: &QueryResult, want: &QueryResult, what: &str) {
+        assert_eq!(got.len(), want.len(), "{what}: series count");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.labels, w.labels, "{what}: labels");
+            assert_eq!(
+                g.samples.len(),
+                w.samples.len(),
+                "{what}: rows of {}",
+                g.labels
+            );
+            for (a, b) in g.samples.iter().zip(&w.samples) {
+                assert_eq!(a.t, b.t, "{what}: window ts of {}", g.labels);
+                assert_eq!(
+                    a.v.to_bits(),
+                    b.v.to_bits(),
+                    "{what}: value bits at t={} of {} ({} vs {})",
+                    a.t,
+                    g.labels,
+                    a.v,
+                    b.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_aggregate_matches_reference_and_uses_metadata() {
+        let (_d, e) = engine();
+        // chunk_samples = 8, 1s interval: chunk k covers [8k, 8k+7] s.
+        // A 16s step holds exactly two sealed chunks per window.
+        let l = labels(&[("metric", "cpu"), ("host", "h1")]);
+        let id = e.put(&l, 0, 5.0).unwrap();
+        for i in 1..64 {
+            // First chunk of each window carries the maximum (5.0).
+            let v = if i % 16 == 0 {
+                5.0
+            } else {
+                1.0 + (i % 7) as f64 * 0.25
+            };
+            e.put_by_id(id, i * 1_000, v).unwrap();
+        }
+        let sel = [Selector::exact("metric", "cpu")];
+        let meta0 = tu_obs::counter("core.query.agg.meta_answered").get();
+        let skip0 = tu_obs::counter("core.query.agg.skipped_chunks").get();
+        for kind in AggKind::ALL {
+            let got = e.query_aggregate(&sel, kind, 0, 64_000, 16_000).unwrap();
+            let want = reference_aggregate(&e, &sel, kind, 0, 64_000, 16_000);
+            assert!(!got.is_empty(), "{kind:?} returned rows");
+            assert_bit_identical(&got, &want, kind.name());
+        }
+        // Max/Min/Count/Sum/Avg meta-answer fully-covered chunks.
+        assert!(tu_obs::counter("core.query.agg.meta_answered").get() > meta0);
+
+        // A query window starting mid-stream time-skips chunks from the
+        // slack region entirely.
+        let got = e
+            .query_aggregate(&sel, AggKind::Max, 32_000, 64_000, 16_000)
+            .unwrap();
+        let want = reference_aggregate(&e, &sel, AggKind::Max, 32_000, 64_000, 16_000);
+        assert_bit_identical(&got, &want, "max mid-stream");
+        assert!(tu_obs::counter("core.query.agg.skipped_chunks").get() > skip0);
+
+        // Invalid step is rejected.
+        assert!(e.query_aggregate(&sel, AggKind::Max, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn query_aggregate_handles_ooo_nan_and_head_overlap() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "mem"), ("host", "h2")]);
+        let id = e.put(&l, 0, f64::NAN).unwrap();
+        // Out-of-order and duplicate timestamps force patch chunks and
+        // newest-wins merges — the pushdown plan must fall back and stay
+        // bit-identical.
+        for (t, v) in [
+            (10_000, 1.0),
+            (20_000, -0.0),
+            (5_000, 3.0),
+            (20_000, 2.0),
+            (30_000, f64::NAN),
+            (15_000, 7.0),
+            (40_000, 0.0),
+        ] {
+            e.put_by_id(id, t, v).unwrap();
+        }
+        let sel = [Selector::exact("metric", "mem")];
+        for kind in AggKind::ALL {
+            let got = e.query_aggregate(&sel, kind, 0, 60_000, 15_000).unwrap();
+            let want = reference_aggregate(&e, &sel, kind, 0, 60_000, 15_000);
+            assert_bit_identical(&got, &want, kind.name());
+        }
+    }
+
+    #[test]
+    fn query_aggregate_reads_legacy_prestats_chunks() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "disk"), ("host", "h3")]);
+        let id = e.put(&l, 100_000, 1.0).unwrap();
+        // Plant a legacy (pre-stats envelope) chunk behind the head.
+        let legacy: Vec<Sample> = (0..8).map(|i| Sample::new(i * 1_000, i as f64)).collect();
+        let bytes = gorilla::compress_chunk(&legacy).unwrap();
+        e.debug_put_chunk(id, 0, 7_000, bytes).unwrap();
+        let sel = [Selector::exact("metric", "disk")];
+        for kind in AggKind::ALL {
+            let got = e.query_aggregate(&sel, kind, 0, 200_000, 10_000).unwrap();
+            let want = reference_aggregate(&e, &sel, kind, 0, 200_000, 10_000);
+            assert_bit_identical(&got, &want, kind.name());
+        }
+        // The legacy samples really are visible.
+        let q = e.query(&sel, 0, 200_000).unwrap();
+        assert_eq!(q[0].samples.len(), 9);
+    }
+
+    #[test]
+    fn query_aggregate_groups_match_reference() {
+        let (_d, e) = engine();
+        let gt = labels(&[("job", "node")]);
+        let members: Vec<Labels> = (0..3)
+            .map(|i| labels(&[("host", &format!("h{i}"))]))
+            .collect();
+        let (gid, refs) = e.put_group(&gt, &members, 0, &[0.0, 10.0, -1.0]).unwrap();
+        for round in 1..40 {
+            let t = round * 1_000;
+            let vals: Vec<Value> = (0..3)
+                .map(|m| ((round * (m + 1)) % 9) as f64 - 2.0)
+                .collect();
+            if round % 5 == 0 {
+                // Some rounds miss a member (NULL column entries).
+                e.put_group_fast(gid, &refs[..2], t, &vals[..2]).unwrap();
+            } else {
+                e.put_group_fast(gid, &refs, t, &vals).unwrap();
+            }
+        }
+        let sel = [Selector::exact("job", "node")];
+        for kind in AggKind::ALL {
+            let got = e.query_aggregate(&sel, kind, 0, 40_000, 8_000).unwrap();
+            let want = reference_aggregate(&e, &sel, kind, 0, 40_000, 8_000);
+            assert!(!got.is_empty(), "{kind:?} returned rows");
+            assert_bit_identical(&got, &want, kind.name());
+        }
+        // Selecting one member decodes only its column, still identical.
+        let one = [Selector::exact("host", "h1")];
+        let got = e
+            .query_aggregate(&one, AggKind::Avg, 0, 40_000, 8_000)
+            .unwrap();
+        let want = reference_aggregate(&e, &one, AggKind::Avg, 0, 40_000, 8_000);
+        assert_bit_identical(&got, &want, "avg one member");
+    }
+
+    #[test]
+    fn query_aggregate_profiled_carries_agg_counters() {
+        let (_d, e) = engine();
+        let l = labels(&[("metric", "net")]);
+        let id = e.put(&l, 0, 1.0).unwrap();
+        for i in 1..32 {
+            e.put_by_id(id, i * 1_000, i as f64).unwrap();
+        }
+        let sel = [Selector::exact("metric", "net")];
+        let (rows, profile) = e
+            .query_aggregate_profiled(&sel, AggKind::Sum, 0, 32_000, 16_000)
+            .unwrap();
+        assert!(!rows.is_empty());
+        assert!(profile.stages.iter().any(|s| s.name == "fanout"));
+        let meta = profile.counters.get("core.query.agg.meta_answered");
+        assert!(
+            meta.copied().unwrap_or(0) > 0,
+            "profile carries agg counters: {:?}",
+            profile.counters
+        );
     }
 }

@@ -282,7 +282,7 @@ impl GroupObject {
             let values: Vec<Option<Value>> = cols.iter().map(|c| c[row]).collect();
             enc.append_row(t, &values)?;
         }
-        Ok(enc.finish())
+        Ok(enc.finish_framed())
     }
 
     fn clear_head(&mut self, ts_arena: &ChunkArena, val_arena: &ChunkArena) -> Result<()> {

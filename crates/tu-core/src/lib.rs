@@ -29,4 +29,4 @@ pub mod shard;
 
 pub use engine::{Options, TimeUnion};
 pub use profile::{QueryProfile, StageTiming, TierProfile};
-pub use query::{QueryResult, SeriesResult};
+pub use query::{aggregate_step, AggKind, QueryResult, SeriesResult};

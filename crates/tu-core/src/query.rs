@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 
 use tu_common::{Labels, Sample, SeriesId, Timestamp, Value};
+pub use tu_compress::agg::AggKind;
+use tu_compress::agg::AggState;
 
 /// One matched timeseries with its samples in `[start, end)`, sorted by
 /// timestamp.
@@ -71,28 +73,86 @@ impl SampleMerger {
     }
 }
 
-/// Step-aggregation used by the TSBS query patterns: MAX per aligned
-/// window of `step_ms` over `[start, end)`. Windows without samples are
-/// omitted.
-pub fn aggregate_max(
+/// Step-aggregation shared by the engine's reference/fallback path and
+/// the TSBS query patterns: one [`AggKind`] per aligned window of
+/// `step_ms` over `[start, end)`. Samples must be sorted by timestamp
+/// (as every query path produces them). Windows without a defined value
+/// are omitted (no samples, or a rate over fewer than two samples).
+///
+/// This is the reference fold the aggregation pushdown in
+/// `TimeUnion::query_aggregate` is pinned bit-identical against: both
+/// run [`AggState`] over the same samples in the same order.
+pub fn aggregate_step(
+    kind: AggKind,
     samples: &[Sample],
     start: Timestamp,
     end: Timestamp,
     step_ms: i64,
 ) -> Vec<Sample> {
-    assert!(step_ms > 0);
-    let mut out: Vec<Sample> = Vec::new();
+    let mut win = StepWindows::new(start, end, step_ms);
     for s in samples {
-        if s.t < start || s.t >= end {
-            continue;
-        }
-        let bucket = start + ((s.t - start) / step_ms) * step_ms;
-        match out.last_mut() {
-            Some(last) if last.t == bucket => last.v = last.v.max(s.v),
-            _ => out.push(Sample::new(bucket, s.v)),
+        win.observe(s.t, s.v);
+    }
+    win.finish(kind)
+}
+
+/// The per-series window accumulator behind [`aggregate_step`] *and* the
+/// engine's pushdown path — both fold samples through the exact same
+/// code, which is what makes pushdown results bit-identical to the
+/// materialize-then-fold reference.
+#[derive(Debug)]
+pub(crate) struct StepWindows {
+    start: Timestamp,
+    end: Timestamp,
+    step_ms: i64,
+    pub(crate) buckets: Vec<(Timestamp, AggState)>,
+}
+
+impl StepWindows {
+    pub(crate) fn new(start: Timestamp, end: Timestamp, step_ms: i64) -> Self {
+        assert!(step_ms > 0);
+        StepWindows {
+            start,
+            end,
+            step_ms,
+            buckets: Vec::new(),
         }
     }
-    out
+
+    /// The aligned window start covering `t`.
+    #[inline]
+    pub(crate) fn bucket_of(&self, t: Timestamp) -> Timestamp {
+        self.start + ((t - self.start) / self.step_ms) * self.step_ms
+    }
+
+    /// Folds one sample (samples must arrive in timestamp order; values
+    /// outside `[start, end)` are clipped).
+    #[inline]
+    pub(crate) fn observe(&mut self, t: Timestamp, v: Value) {
+        if t < self.start || t >= self.end {
+            return;
+        }
+        // Fast path: most samples land in the current window, which a
+        // range check answers without the bucket division.
+        if let Some((b, st)) = self.buckets.last_mut() {
+            if t >= *b && t - *b < self.step_ms {
+                st.observe(t, v);
+                return;
+            }
+        }
+        let bucket = self.bucket_of(t);
+        let mut st = AggState::new();
+        st.observe(t, v);
+        self.buckets.push((bucket, st));
+    }
+
+    /// Emits one sample per window with a defined aggregate value.
+    pub(crate) fn finish(self, kind: AggKind) -> Vec<Sample> {
+        self.buckets
+            .into_iter()
+            .filter_map(|(b, st)| st.value(kind).map(|v| Sample::new(b, v)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +188,7 @@ mod tests {
         let samples: Vec<Sample> = (0..10)
             .map(|i| Sample::new(i * 60_000, (i % 4) as f64))
             .collect();
-        let out = aggregate_max(&samples, 0, 600_000, 300_000);
+        let out = aggregate_step(AggKind::Max, &samples, 0, 600_000, 300_000);
         // Bucket 0 covers minutes 0-4 (values 0,1,2,3,0), bucket 1 covers
         // minutes 5-9 (values 1,2,3,0,1).
         assert_eq!(out, vec![Sample::new(0, 3.0), Sample::new(300_000, 3.0)]);
@@ -137,8 +197,31 @@ mod tests {
     #[test]
     fn aggregate_max_omits_empty_windows() {
         let samples = vec![Sample::new(0, 1.0), Sample::new(900_000, 2.0)];
-        let out = aggregate_max(&samples, 0, 1_200_000, 300_000);
+        let out = aggregate_step(AggKind::Max, &samples, 0, 1_200_000, 300_000);
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].t, 900_000);
+    }
+
+    #[test]
+    fn aggregate_step_covers_every_kind() {
+        let samples = vec![
+            Sample::new(0, 4.0),
+            Sample::new(60_000, 1.0),
+            Sample::new(120_000, 7.0),
+            Sample::new(300_000, 10.0),
+        ];
+        let range = (0, 600_000, 300_000);
+        let first = |out: Vec<Sample>| out.first().map(|s| s.v);
+        let agg = |kind| aggregate_step(kind, &samples, range.0, range.1, range.2);
+        assert_eq!(first(agg(AggKind::Sum)), Some(12.0));
+        assert_eq!(first(agg(AggKind::Min)), Some(1.0));
+        assert_eq!(first(agg(AggKind::Max)), Some(7.0));
+        assert_eq!(first(agg(AggKind::Count)), Some(3.0));
+        assert_eq!(first(agg(AggKind::Avg)), Some(4.0));
+        // Rate over window 0: (7.0 - 4.0) / 120s.
+        assert_eq!(first(agg(AggKind::Rate)), Some(3.0 / 120.0));
+        // Window 1 has a single sample: rate is undefined and omitted.
+        assert_eq!(agg(AggKind::Rate).len(), 1);
+        assert_eq!(agg(AggKind::Sum).len(), 2);
     }
 }

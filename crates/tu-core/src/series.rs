@@ -153,7 +153,7 @@ impl SeriesObject {
         self.last_ts = self.last_ts.max(t);
         if (self.head_count as usize) >= cap {
             let rows = decode_rows(&arena.read(self.handle)?)?;
-            let chunk = gorilla::compress_chunk(&rows)?;
+            let chunk = gorilla::compress_chunk_framed(&rows)?;
             let first_ts = self.head_first;
             let last_ts = self.head_last;
             arena.write(self.handle, &[])?;
@@ -175,7 +175,7 @@ impl SeriesObject {
             return Ok(None);
         }
         let rows = decode_rows(&arena.read(self.handle)?)?;
-        let chunk = gorilla::compress_chunk(&rows)?;
+        let chunk = gorilla::compress_chunk_framed(&rows)?;
         let first_ts = self.head_first;
         let last_ts = self.head_last;
         arena.write(self.handle, &[])?;

@@ -595,6 +595,31 @@ fn f(summary: &tu_obs::TraceSummary) -> u64 {
     }
 
     #[test]
+    fn counter_flags_raw_agg_counter_in_engine() {
+        // The aggregation-pushdown counters feed query_aggregate_profiled
+        // attribution, so a raw registry counter would silently drop the
+        // per-query deltas from the profile.
+        let src = r#"
+fn f() {
+    tu_obs::counter("core.query.agg.pushdown_chunks").inc();
+}
+"#;
+        let fs = unallowed("crates/tu-core/src/engine.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "counter-discipline");
+    }
+
+    #[test]
+    fn counter_permits_traced_agg_counter_in_engine() {
+        let src = r#"
+fn f() {
+    tu_obs::traced("core.query.agg.meta_answered").add(3);
+}
+"#;
+        assert!(unallowed("crates/tu-core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
     fn counter_rule_only_applies_to_traced_crates() {
         let src = "fn f() { let c = tu_obs::counter(\"x\"); }";
         assert!(unallowed("crates/tu-obs/src/lib.rs", src).is_empty());

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use timeunion::engine::{Options, TimeUnion};
 use timeunion::model::Labels;
 use timeunion::tsbs::{DevOpsGenerator, DevOpsOptions, QueryPattern};
-use tu_core::query::aggregate_max;
+use tu_core::query::{aggregate_step, AggKind};
 
 /// Value of `--<flag> <v>` or `--<flag>=<v>`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -95,7 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let elapsed_s = t0.elapsed_secs_f64();
         let windows: usize = result
             .iter()
-            .map(|s| aggregate_max(&s.samples, spec.start, spec.end, spec.step_ms).len())
+            .map(|s| {
+                aggregate_step(AggKind::Max, &s.samples, spec.start, spec.end, spec.step_ms).len()
+            })
             .sum();
         println!(
             "{:10} -> {} series, {} aggregated windows, {:.2}ms",

@@ -42,7 +42,7 @@
 pub mod engine {
     pub use tu_core::engine::{Options, TimeUnion};
     pub use tu_core::profile::{QueryProfile, StageTiming, TierProfile};
-    pub use tu_core::query::{QueryResult, SeriesResult};
+    pub use tu_core::query::{aggregate_step, AggKind, QueryResult, SeriesResult};
     pub use tu_index::matcher::Selector;
 }
 

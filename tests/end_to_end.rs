@@ -6,7 +6,7 @@ use timeunion::engine::{Options, TimeUnion};
 use timeunion::lsm::TreeOptions;
 use timeunion::model::Labels;
 use timeunion::tsbs::{DevOpsGenerator, DevOpsOptions, QueryPattern};
-use tu_core::query::aggregate_max;
+use tu_core::query::{aggregate_step, AggKind};
 
 const MIN: i64 = 60_000;
 
@@ -114,7 +114,13 @@ fn tsbs_patterns_match_ground_truth() {
                 series.labels
             );
             // Aggregation smoke check: windows are monotone in time.
-            let agg = aggregate_max(&series.samples, spec.start, spec.end, spec.step_ms);
+            let agg = aggregate_step(
+                AggKind::Max,
+                &series.samples,
+                spec.start,
+                spec.end,
+                spec.step_ms,
+            );
             assert!(agg.windows(2).all(|w| w[0].t < w[1].t));
         }
     }
