@@ -148,6 +148,7 @@ fn main() {
             tu_obs::ServeSources {
                 health: std::sync::Arc::new(tu_obs::HealthReport::ok),
                 monitor: Some(std::sync::Arc::clone(&monitor)),
+                extra: Vec::new(),
             },
         )
         .unwrap_or_else(|e| {

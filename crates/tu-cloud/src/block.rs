@@ -24,6 +24,9 @@ pub struct BlockStore {
     used_bytes: AtomicU64,
     stats: Stats,
     obs: TierCounters,
+    /// Mirrors `used_bytes` into the registry so the cost ledger can price
+    /// the capacity term of Eq. 3 from a snapshot alone.
+    used_gauge: &'static tu_obs::Gauge,
     /// Files that have been read at least once (first-read penalty applies
     /// to the others), plus the set of known files and their sizes.
     state: Mutex<State>,
@@ -57,10 +60,16 @@ impl BlockStore {
             used_bytes: AtomicU64::new(0),
             stats: Stats::default(),
             obs: TierCounters::for_tier("block"),
+            used_gauge: tu_obs::gauge("cloud.block.used_bytes"),
             state: Mutex::new(State::default()),
         };
         store.reindex()?;
         Ok(store)
+    }
+
+    fn sync_used_gauge(&self) {
+        self.used_gauge
+            .set(self.used_bytes.load(Ordering::Relaxed) as i64);
     }
 
     fn reindex(&self) -> Result<()> {
@@ -82,6 +91,7 @@ impl BlockStore {
             }
         }
         self.used_bytes.store(total, Ordering::Relaxed);
+        self.sync_used_gauge();
         Ok(())
     }
 
@@ -118,12 +128,12 @@ impl BlockStore {
         }
         self.used_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.sync_used_gauge();
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.obs.puts.inc();
-        self.obs.bytes_written.add(data.len() as u64);
+        self.obs.record_write(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(())
     }
@@ -143,12 +153,12 @@ impl BlockStore {
         drop(state);
         self.used_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.sync_used_gauge();
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.obs.puts.inc();
-        self.obs.bytes_written.add(data.len() as u64);
+        self.obs.record_write(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(offset)
     }
@@ -217,11 +227,7 @@ impl BlockStore {
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
-        self.obs.gets.inc();
-        self.obs.bytes_read.add(len);
-        if first {
-            self.obs.first_reads.inc();
-        }
+        self.obs.record_read(len, first);
         self.clock.charge(self.model.read_ns(len, first));
     }
 
@@ -242,8 +248,9 @@ impl BlockStore {
         }
         state.read_before.remove(name);
         drop(state);
+        self.sync_used_gauge();
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
-        self.obs.deletes.inc();
+        self.obs.record_delete();
         Ok(())
     }
 

@@ -13,13 +13,17 @@
 //!   (Equations 4/6 charge one Get per SSTable data block).
 //! * [`cost`] — the latency models and the virtual [`cost::CostClock`] that
 //!   accumulates modelled storage time deterministically.
-//! * [`pricing`] — the Figure 1a price sheet (RAM vs. EBS vs. S3).
+//! * [`pricing`] — the Figure 1a price sheet (RAM vs. EBS vs. S3) plus the
+//!   per-request prices Eq. 4/6 charge on object storage.
+//! * [`ledger`] — the windowed [`ledger::CostLedger`]: periodic counter
+//!   snapshots priced into a per-window, per-tier $-decomposition.
 //!
 //! Data lives in real files under a root directory, so large datasets do not
 //! inflate the heap-memory measurements of the engines above.
 
 pub mod block;
 pub mod cost;
+pub mod ledger;
 pub mod object;
 pub mod pricing;
 

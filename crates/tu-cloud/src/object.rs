@@ -25,6 +25,10 @@ pub struct ObjectStore {
     clock: CostClock,
     stats: Stats,
     obs: TierCounters,
+    used_bytes: AtomicU64,
+    /// Mirrors `used_bytes` into the registry so the cost ledger can price
+    /// the capacity term of Eq. 4 from a snapshot alone.
+    used_gauge: &'static tu_obs::Gauge,
     state: Mutex<State>,
 }
 
@@ -54,15 +58,23 @@ impl ObjectStore {
             clock,
             stats: Stats::default(),
             obs: TierCounters::for_tier("object"),
+            used_bytes: AtomicU64::new(0),
+            used_gauge: tu_obs::gauge("cloud.object.used_bytes"),
             state: Mutex::new(State::default()),
         };
         store.reindex()?;
         Ok(store)
     }
 
+    fn sync_used_gauge(&self) {
+        self.used_gauge
+            .set(self.used_bytes.load(Ordering::Relaxed) as i64);
+    }
+
     fn reindex(&self) -> Result<()> {
         let mut state = self.state.lock();
         state.sizes.clear();
+        let mut total = 0;
         let mut stack = vec![self.root.clone()];
         while let Some(dir) = stack.pop() {
             for entry in fs::read_dir(&dir)? {
@@ -71,12 +83,14 @@ impl ObjectStore {
                 if path.is_dir() {
                     stack.push(path);
                 } else {
-                    state
-                        .sizes
-                        .insert(self.rel_name(&path), entry.metadata()?.len());
+                    let len = entry.metadata()?.len();
+                    total += len;
+                    state.sizes.insert(self.rel_name(&path), len);
                 }
             }
         }
+        self.used_bytes.store(total, Ordering::Relaxed);
+        self.sync_used_gauge();
         Ok(())
     }
 
@@ -100,21 +114,27 @@ impl ObjectStore {
             fs::create_dir_all(parent)?;
         }
         fs::write(&path, data)?;
-        {
+        let old = {
             let mut state = self.state.lock();
-            state.sizes.insert(key.to_string(), data.len() as u64);
+            let old = state.sizes.insert(key.to_string(), data.len() as u64);
             // A PUT replaces the object's content, so the next read is a
             // first read again (cold fetch); leaving the key in
             // `read_before` would skip the first-read penalty and
             // under-charge Figure 1c's model on overwrite-heavy workloads.
             state.read_before.remove(key);
+            old
+        };
+        if let Some(old) = old {
+            self.used_bytes.fetch_sub(old, Ordering::Relaxed);
         }
+        self.used_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.sync_used_gauge();
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.obs.puts.inc();
-        self.obs.bytes_written.add(data.len() as u64);
+        self.obs.record_write(data.len() as u64);
         self.clock.charge(self.model.write_ns(data.len() as u64));
         Ok(())
     }
@@ -186,11 +206,7 @@ impl ObjectStore {
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
-        self.obs.gets.inc();
-        self.obs.bytes_read.add(len);
-        if first {
-            self.obs.first_reads.inc();
-        }
+        self.obs.record_read(len, first);
         self.clock.charge(self.model.read_ns(len, first));
     }
 
@@ -210,11 +226,15 @@ impl ObjectStore {
             Err(e) => return Err(e.into()),
         }
         let mut state = self.state.lock();
-        state.sizes.remove(key);
+        let old = state.sizes.remove(key);
         state.read_before.remove(key);
         drop(state);
+        if let Some(old) = old {
+            self.used_bytes.fetch_sub(old, Ordering::Relaxed);
+        }
+        self.sync_used_gauge();
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
-        self.obs.deletes.inc();
+        self.obs.record_delete();
         Ok(())
     }
 
@@ -249,7 +269,7 @@ impl ObjectStore {
 
     /// Total bytes stored across all objects.
     pub fn used_bytes(&self) -> u64 {
-        self.state.lock().sizes.values().sum()
+        self.used_bytes.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the operation counters.

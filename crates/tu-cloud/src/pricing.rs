@@ -31,6 +31,31 @@ pub fn monthly_cost_usd(tier: Tier, bytes: u64) -> f64 {
     usd_per_gb_month(tier) * bytes as f64 / (1024.0 * 1024.0 * 1024.0)
 }
 
+/// USD per GET/read request. Only object storage bills per request (S3
+/// standard: $0.0004 per 1000 GETs); EBS and RAM charge capacity only —
+/// exactly the asymmetry Eq. 3–6 are built on.
+pub fn usd_per_get(tier: Tier) -> f64 {
+    match tier {
+        Tier::Object => 0.0004 / 1000.0,
+        Tier::Ram | Tier::Block => 0.0,
+    }
+}
+
+/// USD per PUT/write request (S3 standard: $0.005 per 1000 PUTs). Deletes
+/// are free on S3 and are priced as such.
+pub fn usd_per_put(tier: Tier) -> f64 {
+    match tier {
+        Tier::Object => 0.005 / 1000.0,
+        Tier::Ram | Tier::Block => 0.0,
+    }
+}
+
+/// Request-traffic cost of a window: Eq. 4/6's per-request terms applied to
+/// observed Get/Put counts. Zero for capacity-only tiers.
+pub fn request_cost_usd(tier: Tier, gets: u64, puts: u64) -> f64 {
+    gets as f64 * usd_per_get(tier) + puts as f64 * usd_per_put(tier)
+}
+
 /// The full price sheet, for the Figure 1a report.
 pub fn price_sheet() -> Vec<(Tier, &'static str, f64)> {
     vec![

@@ -227,6 +227,7 @@ struct Worker {
 struct ServePlane {
     server: tu_obs::ObsServer,
     monitor: Arc<tu_obs::Monitor>,
+    ledger: Arc<tu_cloud::ledger::CostLedger>,
 }
 
 impl TimeUnion {
@@ -321,6 +322,11 @@ impl TimeUnion {
             .set(engine.query_threads.load(Ordering::Relaxed) as i64);
         tu_obs::gauge("core.ingest.parallel.threads")
             .set(engine.ingest_threads.load(Ordering::Relaxed) as i64);
+        // Partition heat timestamps follow the engine clock, so
+        // last-access and decay windows line up with query time ranges
+        // in tests and simulations driven by a virtual clock.
+        let heat_clock = engine.opts.clock.clone();
+        tu_obs::heat::install_clock(Arc::new(move || heat_clock.now_ms()));
         engine.recover()?;
         tu_obs::log::info(
             "core.open",
@@ -381,11 +387,46 @@ impl TimeUnion {
                 )],
             },
         });
+        // The cost ledger rides the monitor's sampling cadence: every
+        // vitals sample also closes a billing window.
+        let ledger = tu_cloud::ledger::CostLedger::new(128);
+        monitor.add_observer(ledger.observer());
+        let lsm_weak = Arc::downgrade(self);
+        let lsm_endpoint = tu_obs::Endpoint::new("/introspect/lsm", move || {
+            let body = match lsm_weak.upgrade() {
+                Some(engine) => {
+                    let view = engine.tree.introspect();
+                    crate::introspect::lsm_json(
+                        &view,
+                        tu_obs::traced("lsm.bloom.checks").get(),
+                        tu_obs::traced("lsm.bloom.negatives").get(),
+                    )
+                }
+                None => "{\"error\":\"engine closed\"}".to_string(),
+            };
+            ("application/json".to_string(), body)
+        });
+        let parts_weak = Arc::downgrade(self);
+        let parts_endpoint = tu_obs::Endpoint::new("/introspect/partitions", move || {
+            let body = match parts_weak.upgrade() {
+                Some(engine) => {
+                    let view = engine.tree.introspect();
+                    crate::introspect::partitions_json(&view, &tu_obs::heat::snapshot())
+                }
+                None => "{\"error\":\"engine closed\"}".to_string(),
+            };
+            ("application/json".to_string(), body)
+        });
+        let costs_ledger = Arc::clone(&ledger);
+        let costs_endpoint = tu_obs::Endpoint::new("/costs", move || {
+            ("application/json".to_string(), costs_ledger.to_json())
+        });
         let server = tu_obs::ObsServer::bind(
             addr,
             tu_obs::ServeSources {
                 health,
                 monitor: Some(Arc::clone(&monitor)),
+                extra: vec![lsm_endpoint, parts_endpoint, costs_endpoint],
             },
         )?;
         let local = server.local_addr();
@@ -394,7 +435,11 @@ impl TimeUnion {
             "observability endpoint listening",
             &[("addr", local.to_string().into())],
         );
-        *serve = Some(ServePlane { server, monitor });
+        *serve = Some(ServePlane {
+            server,
+            monitor,
+            ledger,
+        });
         Ok(local)
     }
 
@@ -410,6 +455,11 @@ impl TimeUnion {
     /// The vitals monitor of the live endpoint, while serving.
     pub fn monitor(&self) -> Option<Arc<tu_obs::Monitor>> {
         self.serve.lock().as_ref().map(|p| Arc::clone(&p.monitor))
+    }
+
+    /// The windowed cost ledger behind `/costs`, while serving.
+    pub fn cost_ledger(&self) -> Option<Arc<tu_cloud::ledger::CostLedger>> {
+        self.serve.lock().as_ref().map(|p| Arc::clone(&p.ledger))
     }
 
     /// Marks the engine as draining: `/readyz` and `/healthz` start
@@ -1239,11 +1289,13 @@ impl TimeUnion {
         end: Timestamp,
     ) -> Result<(QueryResult, QueryProfile)> {
         let ctx = tu_obs::TraceContext::start("query");
+        let heat_before = tu_obs::heat::snapshot();
         let t0 = tu_obs::Stopwatch::start();
         let (out, matched) = self.query_exec(selectors, start, end)?;
         let wall_ns = t0.elapsed_ns();
         let threads = self.query_threads.load(Ordering::Relaxed);
-        let profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        let mut profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        profile.fill_heat(&heat_before, &tu_obs::heat::snapshot());
         Ok((out, profile))
     }
 
@@ -1449,11 +1501,13 @@ impl TimeUnion {
         step_ms: i64,
     ) -> Result<(QueryResult, QueryProfile)> {
         let ctx = tu_obs::TraceContext::start("query_aggregate");
+        let heat_before = tu_obs::heat::snapshot();
         let t0 = tu_obs::Stopwatch::start();
         let (out, matched) = self.query_aggregate_exec(selectors, kind, start, end, step_ms)?;
         let wall_ns = t0.elapsed_ns();
         let threads = self.query_threads.load(Ordering::Relaxed);
-        let profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        let mut profile = QueryProfile::from_summary(&ctx.finish(), matched, threads, wall_ns);
+        profile.fill_heat(&heat_before, &tu_obs::heat::snapshot());
         Ok((out, profile))
     }
 

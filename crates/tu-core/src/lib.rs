@@ -15,12 +15,17 @@
 //!   [`query`]),
 //! * sequence-ID **logging and recovery** (§3.3) via the catalog and WAL
 //!   ([`catalog`], recovery in [`engine`]),
-//! * the **grouping cost model** of Equations 1–6 ([`analysis`]).
+//! * the **grouping cost model** of Equations 1–6 ([`analysis`]),
+//! * the **storage introspection plane**: per-query cost profiles
+//!   ([`profile`]) and the stable JSON bodies behind the
+//!   `/introspect/lsm`, `/introspect/partitions`, and `/costs`
+//!   endpoints ([`introspect`]).
 
 pub mod analysis;
 pub mod catalog;
 pub mod engine;
 pub mod group;
+pub mod introspect;
 pub mod model;
 pub mod profile;
 pub mod query;
@@ -28,5 +33,5 @@ pub mod series;
 pub mod shard;
 
 pub use engine::{Options, TimeUnion};
-pub use profile::{QueryProfile, StageTiming, TierProfile};
+pub use profile::{HeatContribution, QueryProfile, StageTiming, TierProfile};
 pub use query::{aggregate_step, AggKind, QueryResult, SeriesResult};

@@ -28,4 +28,7 @@ pub mod wal;
 
 pub use leveled::{LeveledOptions, LeveledTree};
 pub use memtable::MemTable;
-pub use tree::{TimeTree, TreeOptions};
+pub use tree::{
+    CacheIntrospect, LevelIntrospect, LsmIntrospect, PartitionIntrospect, TableIntrospect,
+    TimeTree, TreeOptions,
+};

@@ -47,6 +47,8 @@ struct SstObs {
     block_load_bytes: tu_obs::TracedCounter,
     coalesced_requests: tu_obs::TracedCounter,
     coalesced_blocks: tu_obs::TracedCounter,
+    bloom_checks: tu_obs::TracedCounter,
+    bloom_negatives: tu_obs::TracedCounter,
 }
 
 fn sst_obs() -> &'static SstObs {
@@ -56,6 +58,8 @@ fn sst_obs() -> &'static SstObs {
         block_load_bytes: tu_obs::traced("lsm.sstable.block_load_bytes"),
         coalesced_requests: tu_obs::traced("lsm.readahead.coalesced_requests"),
         coalesced_blocks: tu_obs::traced("lsm.readahead.coalesced_blocks"),
+        bloom_checks: tu_obs::traced("lsm.bloom.checks"),
+        bloom_negatives: tu_obs::traced("lsm.bloom.negatives"),
     })
 }
 
@@ -211,6 +215,10 @@ pub struct TableProps {
     pub last_key: Vec<u8>,
     /// Total file size in bytes.
     pub file_len: u64,
+    /// How many entries carry a `tu_compress::agg` stats envelope — the
+    /// pushdown-eligible fraction the introspection plane reports as
+    /// "stats-footer coverage".
+    pub stats_chunks: u64,
 }
 
 /// Builds a serialized SSTable in memory from sorted `(key, value)` adds.
@@ -222,6 +230,7 @@ pub struct TableBuilder {
     first_key: Option<Vec<u8>>,
     last_key: Vec<u8>,
     entries: u64,
+    stats_chunks: u64,
 }
 
 impl Default for TableBuilder {
@@ -240,6 +249,7 @@ impl TableBuilder {
             first_key: None,
             last_key: Vec::new(),
             entries: 0,
+            stats_chunks: 0,
         }
     }
 
@@ -252,6 +262,9 @@ impl TableBuilder {
             self.first_key = Some(key.to_vec());
         }
         self.current.add(key, value);
+        if tu_compress::agg::split_envelope(value).0.is_some() {
+            self.stats_chunks += 1;
+        }
         self.keys.push(key.to_vec());
         self.last_key.clear();
         self.last_key.extend_from_slice(key);
@@ -319,6 +332,7 @@ impl TableBuilder {
         props.extend_from_slice(&first_key);
         varint::write_u64(&mut props, self.last_key.len() as u64);
         props.extend_from_slice(&self.last_key);
+        varint::write_u64(&mut props, self.stats_chunks);
         let props_framed = frame_block(&props);
         let props_off = self.buf.len() as u64;
         self.buf.extend_from_slice(&props_framed);
@@ -341,6 +355,7 @@ impl TableBuilder {
             first_key,
             last_key: self.last_key,
             file_len: self.buf.len() as u64,
+            stats_chunks: self.stats_chunks,
         };
         Ok((self.buf, props))
     }
@@ -471,6 +486,14 @@ impl Table {
             .get(off..off + lk_len as usize)
             .ok_or_else(|| Error::corruption("sstable properties truncated"))?
             .to_vec();
+        off += lk_len as usize;
+        // Tables written before stats coverage was recorded simply end
+        // here; treat them as having no stats envelopes.
+        let stats_chunks = if off < props_block.len() {
+            varint::read_u64(&props_block[off..])?.0
+        } else {
+            0
+        };
         let cache_name = source.cache_name();
         Ok(Table {
             source,
@@ -483,6 +506,7 @@ impl Table {
                 first_key,
                 last_key,
                 file_len,
+                stats_chunks,
             },
             readahead_blocks: DEFAULT_READAHEAD_BLOCKS,
         })
@@ -596,7 +620,9 @@ impl Table {
         if key < self.props.first_key.as_slice() || key > self.props.last_key.as_slice() {
             return Ok(None);
         }
+        sst_obs().bloom_checks.inc();
         if !self.bloom.may_contain(key) {
+            sst_obs().bloom_negatives.inc();
             return Ok(None);
         }
         let block_idx = match self

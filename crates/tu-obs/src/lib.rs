@@ -39,7 +39,11 @@
 //!   live endpoints (`/metrics`, `/metrics.json`, `/flight`, `/healthz`,
 //!   `/readyz`, `/vitals`) on a `std::net::TcpListener`.
 //! * [`Monitor`] — a background sampler keeping a ring of snapshots and
-//!   deriving windowed [`Vitals`] rates via [`MetricsSnapshot::since`].
+//!   deriving windowed [`Vitals`] rates via [`MetricsSnapshot::since`],
+//!   with pluggable per-sample observers (the cost ledger rides it).
+//! * [`heat`] — the partition heat registry: per-(time partition, tier)
+//!   request/byte totals mirrored from the cloud charge sites, with
+//!   exponential-decay 1m/10m/1h access rates for hot/cold placement.
 //! * [`log`] — a leveled, rate-limited structured event log (JSON lines,
 //!   trace-id-correlated with the flight recorder).
 //! * [`HealthReport`] — aggregated engine health driving `/healthz` and
@@ -65,6 +69,7 @@
 mod export;
 mod flight;
 pub mod health;
+pub mod heat;
 pub mod log;
 mod monitor;
 mod registry;
@@ -79,9 +84,10 @@ pub use export::{
 };
 pub use flight::{flight, FlightEvent, FlightPhase, FlightRecorder};
 pub use health::{Health, HealthCheck, HealthReport, HealthSource};
-pub use monitor::{Monitor, MonitorOptions, TierRates, Vitals};
+pub use heat::{HeatGuard, HeatSnapshot, PartitionHeat, PartitionKey, TierHeat};
+pub use monitor::{Monitor, MonitorOptions, SampleObserver, SpanQuantiles, TierRates, Vitals};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use serve::{ObsServer, ServeSources};
+pub use serve::{Endpoint, ObsServer, ServeSources};
 pub use snapshot::MetricsSnapshot;
 pub use spans::{span, span_of, SpanTimer, Stopwatch};
 pub use trace::{traced, SpanDelta, TraceContext, TraceHandle, TraceSummary, TracedCounter};

@@ -58,6 +58,23 @@ pub struct TierRates {
     pub written_bytes_per_s: f64,
 }
 
+/// Windowed latency quantiles of one `span.*` histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanQuantiles {
+    /// Full histogram name (`span.<op>.ns`).
+    pub name: String,
+    /// Completions inside the window.
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// A callback invoked with every sample the monitor takes, before the
+/// sample enters the ring: `(at_ms, snapshot)`. Recorders that need the
+/// monitor's cadence without re-sampling (the cost ledger) register one.
+pub type SampleObserver = Arc<dyn Fn(i64, &MetricsSnapshot) + Send + Sync>;
+
 /// Windowed rates over the monitor ring (oldest sample → newest).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vitals {
@@ -80,6 +97,9 @@ pub struct Vitals {
     /// `hits / (hits + misses)` within the window; `None` when the window
     /// saw no block accesses.
     pub cache_hit_ratio: Option<f64>,
+    /// Windowed p50/p95/p99 of every `span.*` histogram that completed at
+    /// least once inside the window, sorted by name.
+    pub spans: Vec<SpanQuantiles>,
 }
 
 impl Vitals {
@@ -91,8 +111,23 @@ impl Vitals {
                 t.get_per_s, t.put_per_s, t.read_bytes_per_s, t.written_bytes_per_s
             )
         };
+        let mut spans = String::from("{");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            spans.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                crate::snapshot::escape(&s.name),
+                s.count,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns
+            ));
+        }
+        spans.push('}');
         format!(
-            "{{\"window_ms\":{},\"at_ms\":{},\"ingest_samples_per_s\":{:.3},\"queries_per_s\":{:.3},\"wal_flushed_bytes_per_s\":{:.3},\"flushes_per_s\":{:.3},\"block\":{},\"object\":{},\"cache_hit_ratio\":{}}}",
+            "{{\"window_ms\":{},\"at_ms\":{},\"ingest_samples_per_s\":{:.3},\"queries_per_s\":{:.3},\"wal_flushed_bytes_per_s\":{:.3},\"flushes_per_s\":{:.3},\"block\":{},\"object\":{},\"cache_hit_ratio\":{},\"spans\":{}}}",
             self.window_ms,
             self.at_ms,
             self.ingest_samples_per_s,
@@ -104,7 +139,8 @@ impl Vitals {
             match self.cache_hit_ratio {
                 Some(r) => format!("{r:.4}"),
                 None => "null".to_string(),
-            }
+            },
+            spans
         )
     }
 }
@@ -130,9 +166,17 @@ impl std::fmt::Display for Vitals {
             self.object.get_per_s, self.object.put_per_s
         )?;
         match self.cache_hit_ratio {
-            Some(r) => writeln!(f, "  cache hit  {:>12.1} %", r * 100.0),
-            None => writeln!(f, "  cache hit  (no accesses)"),
+            Some(r) => writeln!(f, "  cache hit  {:>12.1} %", r * 100.0)?,
+            None => writeln!(f, "  cache hit  (no accesses)")?,
         }
+        for s in &self.spans {
+            writeln!(
+                f,
+                "  span {:<28} count={:<8} p50={}ns p95={}ns p99={}ns",
+                s.name, s.count, s.p50_ns, s.p95_ns, s.p99_ns
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +195,7 @@ pub struct Monitor {
     sampler: Mutex<Option<thread::JoinHandle<()>>>,
     state: Arc<(Mutex<SamplerState>, Condvar)>,
     running: AtomicBool,
+    observers: Mutex<Vec<SampleObserver>>,
 }
 
 /// Milliseconds since an arbitrary process-local epoch — the default
@@ -171,17 +216,34 @@ impl Monitor {
             sampler: Mutex::new(None),
             state: Arc::new((Mutex::new(SamplerState { stop: false }), Condvar::new())),
             running: AtomicBool::new(false),
+            observers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a callback invoked with every future sample (manual or
+    /// background). Observers run on the sampling thread; keep them cheap.
+    pub fn add_observer(&self, obs: SampleObserver) {
+        self.observers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(obs);
     }
 
     fn lock_ring(&self) -> std::sync::MutexGuard<'_, VecDeque<(i64, MetricsSnapshot)>> {
         self.ring.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Takes one timestamped snapshot of the global registry now.
+    /// Takes one timestamped snapshot of the global registry now,
+    /// feeding it to every registered observer before it enters the ring.
     pub fn sample(&self) {
         let at = (self.now_ms)();
         let snap = crate::global().snapshot();
+        {
+            let observers = self.observers.lock().unwrap_or_else(|e| e.into_inner());
+            for obs in observers.iter() {
+                obs(at, &snap);
+            }
+        }
         let mut ring = self.lock_ring();
         if ring.len() >= self.capacity {
             ring.pop_front();
@@ -222,6 +284,18 @@ impl Monitor {
         };
         let hits = delta.counter("lsm.cache.hits").unwrap_or(0);
         let misses = delta.counter("lsm.cache.misses").unwrap_or(0);
+        let spans = delta
+            .histograms
+            .iter()
+            .filter(|(name, h)| name.starts_with("span.") && h.count > 0)
+            .map(|(name, h)| SpanQuantiles {
+                name: name.clone(),
+                count: h.count,
+                p50_ns: h.p50().unwrap_or(0),
+                p95_ns: h.p95().unwrap_or(0),
+                p99_ns: h.p99().unwrap_or(0),
+            })
+            .collect();
         Some(Vitals {
             window_ms,
             at_ms: *t1,
@@ -238,6 +312,7 @@ impl Monitor {
             } else {
                 None
             },
+            spans,
         })
     }
 
@@ -424,6 +499,70 @@ mod tests {
         m.sample();
         let v = m.vitals().expect("vitals");
         assert_eq!(v.window_ms, 1, "frozen clock still yields a finite rate");
+    }
+
+    #[test]
+    fn observers_see_every_sample() {
+        let (t, now) = manual_clock();
+        let m = Monitor::new(MonitorOptions {
+            capacity: 4,
+            now_ms: Some(now),
+            ..Default::default()
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        m.add_observer(Arc::new(move |at, snap| {
+            sink.lock()
+                .unwrap()
+                .push((at, snap.counters.contains_key("montest.observer")));
+        }));
+        crate::counter("montest.observer").inc();
+        m.sample();
+        t.store(500, Ordering::Relaxed);
+        m.sample();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, true));
+        assert_eq!(seen[1], (500, true));
+    }
+
+    #[test]
+    fn vitals_report_windowed_span_quantiles() {
+        let (t, now) = manual_clock();
+        let m = Monitor::new(MonitorOptions {
+            capacity: 4,
+            now_ms: Some(now),
+            ..Default::default()
+        });
+        m.sample();
+        crate::histogram("span.montest.window.ns").record(1_000);
+        crate::histogram("span.montest.window.ns").record(1_000);
+        t.store(1_000, Ordering::Relaxed);
+        m.sample();
+        let v = m.vitals().expect("vitals");
+        let q = v
+            .spans
+            .iter()
+            .find(|s| s.name == "span.montest.window.ns")
+            .expect("span quantiles surfaced");
+        assert_eq!(q.count, 2);
+        assert!(q.p50_ns >= 1_000 && q.p99_ns >= q.p50_ns);
+        let json = v.to_json();
+        assert!(json.contains("\"spans\":{"));
+        assert!(json.contains("\"span.montest.window.ns\":{\"count\":2,\"p50_ns\":"));
+        assert!(v.to_string().contains("span span.montest.window.ns"));
+        // A later window without observations drops the span again (the
+        // ring caps at 4, so the pre-observation sample rotates out).
+        for at in [2_000, 3_000, 4_000, 5_000] {
+            t.store(at, Ordering::Relaxed);
+            m.sample();
+        }
+        let v = m.vitals().expect("vitals");
+        assert!(
+            !v.spans.iter().any(|s| s.name == "span.montest.window.ns"),
+            "{:?}",
+            v.spans
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! | `/readyz`       | same report; 503 until ready / after shutdown begins |
 //! | `/vitals`       | windowed [`Vitals`](crate::Vitals) JSON from the monitor |
 //!
+//! Embedders register additional routes via [`ServeSources::extra`] (the
+//! engine adds `/introspect/lsm`, `/introspect/partitions`, `/costs`).
+//!
 //! Shutdown is graceful and bounded: [`ObsServer::shutdown`] flips a flag,
 //! nudges the accept loop awake with a loopback connect, and joins every
 //! thread before returning.
@@ -38,14 +41,41 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 const WORKERS: usize = 2;
 
+/// A caller-registered endpoint: the handler runs per request and returns
+/// `(content_type, body)`.
+pub struct Endpoint {
+    /// Absolute path the endpoint answers on (e.g. `/costs`).
+    pub path: String,
+    /// Per-request handler (must be cheap and never block on I/O).
+    pub handler: Arc<dyn Fn() -> (String, String) + Send + Sync>,
+}
+
+impl Endpoint {
+    /// An endpoint at `path` answering 200 with `handler`'s
+    /// `(content_type, body)`.
+    pub fn new(
+        path: impl Into<String>,
+        handler: impl Fn() -> (String, String) + Send + Sync + 'static,
+    ) -> Endpoint {
+        Endpoint {
+            path: path.into(),
+            handler: Arc::new(handler),
+        }
+    }
+}
+
 /// What the endpoints serve. [`ObsServer::bind`] snapshots/drains the
-/// global registry and flight recorder on each request; health and vitals
-/// come from here.
+/// global registry and flight recorder on each request; health, vitals,
+/// and any extra endpoints come from here.
 pub struct ServeSources {
     /// Called per `/healthz` / `/readyz` request (must be cheap).
     pub health: HealthSource,
     /// Backs `/vitals`; `None` answers a `warming-up` placeholder.
     pub monitor: Option<Arc<Monitor>>,
+    /// Additional endpoints (the engine registers `/introspect/lsm`,
+    /// `/introspect/partitions`, `/costs` here). Built-in paths win on
+    /// conflict; extras are matched in registration order.
+    pub extra: Vec<Endpoint>,
 }
 
 impl ServeSources {
@@ -55,6 +85,7 @@ impl ServeSources {
         ServeSources {
             health: Arc::new(crate::health::HealthReport::ok),
             monitor: None,
+            extra: Vec::new(),
         }
     }
 }
@@ -242,13 +273,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     };
     const JSON: &str = "application/json";
     match path.as_str() {
-        "/" => write_response(
-            &mut stream,
-            200,
-            "OK",
-            "text/plain",
-            "tu-obs live endpoints: /metrics /metrics.json /flight /healthz /readyz /vitals\n",
-        ),
+        "/" => {
+            let mut body = String::from(
+                "tu-obs live endpoints: /metrics /metrics.json /flight /healthz /readyz /vitals",
+            );
+            for e in &shared.sources.extra {
+                body.push(' ');
+                body.push_str(&e.path);
+            }
+            body.push('\n');
+            write_response(&mut stream, 200, "OK", "text/plain", &body);
+        }
         "/metrics" => {
             let body = crate::prometheus_text(&crate::global().snapshot());
             write_response(
@@ -300,7 +335,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 .unwrap_or_else(|| "{\"status\":\"warming-up\"}".to_string());
             write_response(&mut stream, 200, "OK", JSON, &body);
         }
-        _ => write_response(&mut stream, 404, "Not Found", "text/plain", "Not Found"),
+        _ => {
+            match shared
+                .sources
+                .extra
+                .iter()
+                .find(|e| e.path == path.as_str())
+            {
+                Some(e) => {
+                    let (ctype, body) = (e.handler)();
+                    write_response(&mut stream, 200, "OK", &ctype, &body);
+                }
+                None => write_response(&mut stream, 404, "Not Found", "text/plain", "Not Found"),
+            }
+        }
     }
 }
 
@@ -348,15 +396,25 @@ mod tests {
             ServeSources {
                 health: Arc::new(move || h.lock().unwrap().clone()),
                 monitor: None,
+                extra: vec![Endpoint::new("/custom", || {
+                    ("application/json".to_string(), "{\"ok\":true}".to_string())
+                })],
             },
         )
         .expect("bind");
         let addr = server.local_addr();
 
-        // / lists the endpoints.
+        // / lists the endpoints, including registered extras.
         let index = get(addr, "/");
         assert_eq!(status_of(&index), 200);
         assert!(body_of(&index).contains("/metrics"));
+        assert!(body_of(&index).contains("/custom"));
+
+        // Extra endpoints answer with their handler's content.
+        let custom = get(addr, "/custom");
+        assert_eq!(status_of(&custom), 200);
+        assert!(custom.contains("Content-Type: application/json"));
+        assert_eq!(body_of(&custom), "{\"ok\":true}");
 
         // /metrics parses with our own validating parser and includes the
         // counter we just bumped.
@@ -439,6 +497,7 @@ mod tests {
             ServeSources {
                 health: Arc::new(HealthReport::ok),
                 monitor: Some(monitor),
+                extra: Vec::new(),
             },
         )
         .expect("bind");

@@ -41,7 +41,8 @@
 /// The TimeUnion engine: open/put/get, groups, retention, recovery.
 pub mod engine {
     pub use tu_core::engine::{Options, TimeUnion};
-    pub use tu_core::profile::{QueryProfile, StageTiming, TierProfile};
+    pub use tu_core::introspect;
+    pub use tu_core::profile::{HeatContribution, QueryProfile, StageTiming, TierProfile};
     pub use tu_core::query::{aggregate_step, AggKind, QueryResult, SeriesResult};
     pub use tu_index::matcher::Selector;
 }
@@ -57,6 +58,7 @@ pub mod model {
 pub mod cloud {
     pub use tu_cloud::block::BlockStore;
     pub use tu_cloud::cost::{CostClock, LatencyModel};
+    pub use tu_cloud::ledger::{CostLedger, CostWindow, WindowTier};
     pub use tu_cloud::object::ObjectStore;
     pub use tu_cloud::pricing;
     pub use tu_cloud::StorageEnv;
@@ -65,7 +67,10 @@ pub mod cloud {
 /// The elastic time-partitioned LSM-tree and the classic leveled baseline.
 pub mod lsm {
     pub use tu_lsm::leveled::LeveledTree;
-    pub use tu_lsm::tree::{TimeTree, TreeOptions};
+    pub use tu_lsm::tree::{
+        CacheIntrospect, LevelIntrospect, LsmIntrospect, PartitionIntrospect, TableIntrospect,
+        TimeTree, TreeOptions,
+    };
 }
 
 /// The memory-efficient inverted index.
@@ -102,12 +107,15 @@ pub mod tsbs {
 /// and the live plane — the embedded HTTP endpoint, vitals monitor, health
 /// model, and structured event log (see `docs/OBSERVABILITY.md`).
 pub mod obs {
+    pub use tu_obs::heat;
     pub use tu_obs::log;
     pub use tu_obs::{
         chrome_trace_json, counter, flight, gauge, global, histogram, parse_prometheus_text,
-        prometheus_text, span, span_of, traced, Counter, FlightEvent, FlightPhase, FlightRecorder,
-        Gauge, Health, HealthCheck, HealthReport, HealthSource, Histogram, HistogramSnapshot,
-        MetricsSnapshot, Monitor, MonitorOptions, ObsServer, Registry, ServeSources, SpanDelta,
-        SpanTimer, TierRates, TraceContext, TraceHandle, TraceSummary, TracedCounter, Vitals,
+        prometheus_text, span, span_of, traced, Counter, Endpoint, FlightEvent, FlightPhase,
+        FlightRecorder, Gauge, Health, HealthCheck, HealthReport, HealthSource, HeatGuard,
+        HeatSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Monitor, MonitorOptions,
+        ObsServer, PartitionHeat, PartitionKey, Registry, SampleObserver, ServeSources, SpanDelta,
+        SpanQuantiles, SpanTimer, TierHeat, TierRates, TraceContext, TraceHandle, TraceSummary,
+        TracedCounter, Vitals,
     };
 }

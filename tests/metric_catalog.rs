@@ -176,6 +176,16 @@ fn catalog_matches_recorded_metrics() {
         "span.core.query.ns",
         "obs.http.requests",
         "obs.flight.dropped_events",
+        // The introspection plane: heat coverage, ledger windows, the
+        // capacity gauges the ledger prices, and the bloom read-path
+        // counters behind /introspect/lsm.
+        "heat.attributed.requests",
+        "heat.unattributed.bytes",
+        "ledger.windows",
+        "cloud.block.used_bytes",
+        "cloud.object.used_bytes",
+        "lsm.bloom.checks",
+        "lsm.bloom.negatives",
     ] {
         assert!(code.contains(anchor), "code scan lost {anchor}");
         assert!(docs.contains(anchor), "doc scan lost {anchor}");
@@ -190,5 +200,110 @@ fn catalog_matches_recorded_metrics() {
     assert!(
         stale.is_empty(),
         "metrics documented in docs/OBSERVABILITY.md but recorded nowhere: {stale:?}"
+    );
+}
+
+/// Every HTTP path the live plane can serve: the built-in match arms of
+/// `tu-obs`'s server plus every `Endpoint::new("/…")` extra registered
+/// anywhere in the workspace (test code excluded).
+fn served_paths(root: &Path) -> BTreeSet<String> {
+    let mut paths = BTreeSet::new();
+    // Built-ins: `"/path" => {` match arms in the request dispatcher.
+    let serve = std::fs::read_to_string(root.join("crates/tu-obs/src/serve.rs")).unwrap();
+    let serve = serve.split("#[cfg(test)]").next().unwrap().to_string();
+    for line in serve.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"/") {
+            if let Some((path, tail)) = rest.split_once('"') {
+                if tail.trim_start().starts_with("=>") {
+                    paths.insert(format!("/{path}"));
+                }
+            }
+        }
+    }
+    // Extras: Endpoint::new("…") registrations in any crate.
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() && path.join("src").is_dir() {
+            rs_files(&path.join("src"), &mut files);
+        }
+    }
+    rs_files(&root.join("src"), &mut files);
+    for file in files {
+        let content = std::fs::read_to_string(&file).unwrap();
+        let content = content.split("#[cfg(test)]").next().unwrap().to_string();
+        for (pos, _) in content.match_indices("Endpoint::new(\"") {
+            let rest = &content[pos + "Endpoint::new(\"".len()..];
+            let path = rest.split('"').next().unwrap();
+            assert!(
+                path.starts_with('/'),
+                "endpoint path must be absolute in {}: {path:?}",
+                file.display()
+            );
+            paths.insert(path.to_string());
+        }
+    }
+    paths
+}
+
+/// Every path documented in the OBSERVABILITY.md "### Endpoints" table.
+fn doc_paths(root: &Path) -> BTreeSet<String> {
+    let doc = std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")).unwrap();
+    let mut paths = BTreeSet::new();
+    let mut in_endpoints = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if let Some(heading) = line.strip_prefix("### ") {
+            in_endpoints = heading == "Endpoints";
+            continue;
+        }
+        if line.starts_with("## ") {
+            in_endpoints = false;
+            continue;
+        }
+        if !in_endpoints || !line.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = line.split('|').nth(1) else {
+            continue;
+        };
+        let Some(token) = cell.split('`').nth(1) else {
+            continue;
+        };
+        if token.starts_with('/') {
+            paths.insert(token.to_string());
+        }
+    }
+    paths
+}
+
+#[test]
+fn endpoint_catalog_matches_served_paths() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let served = served_paths(root);
+    let docs = doc_paths(root);
+
+    // Anchors so a broken scanner cannot pass vacuously.
+    for anchor in [
+        "/metrics",
+        "/vitals",
+        "/introspect/lsm",
+        "/introspect/partitions",
+        "/costs",
+    ] {
+        assert!(served.contains(anchor), "code scan lost {anchor}");
+        assert!(docs.contains(anchor), "doc scan lost {anchor}");
+    }
+
+    let undocumented: Vec<&String> = served.difference(&docs).collect();
+    let stale: Vec<&String> = docs.difference(&served).collect();
+    assert!(
+        undocumented.is_empty(),
+        "endpoints served but missing from the docs/OBSERVABILITY.md Endpoints table: {undocumented:?}"
+    );
+    assert!(
+        stale.is_empty(),
+        "endpoints documented but served nowhere: {stale:?}"
     );
 }
