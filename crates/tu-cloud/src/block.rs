@@ -11,7 +11,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use crate::cost::{CostClock, LatencyModel, StorageStats, TierCounters};
 use tu_common::{Error, Result};
@@ -61,7 +61,7 @@ impl BlockStore {
             stats: Stats::default(),
             obs: TierCounters::for_tier("block"),
             used_gauge: tu_obs::gauge("cloud.block.used_bytes"),
-            state: Mutex::new(State::default()),
+            state: Mutex::new(&lockdep::CLOUD_BLOCK_STATE, State::default()),
         };
         store.reindex()?;
         Ok(store)
@@ -73,8 +73,10 @@ impl BlockStore {
     }
 
     fn reindex(&self) -> Result<()> {
-        let mut state = self.state.lock();
-        state.sizes.clear();
+        // Walk the tree before taking the lock: directory I/O under
+        // `state` would stall every concurrent reader/writer for the
+        // duration of the scan.
+        let mut sizes = HashMap::new();
         let mut total = 0;
         let mut stack = vec![self.root.clone()];
         while let Some(dir) = stack.pop() {
@@ -86,10 +88,11 @@ impl BlockStore {
                 } else {
                     let len = entry.metadata()?.len();
                     total += len;
-                    state.sizes.insert(self.rel_name(&path), len);
+                    sizes.insert(self.rel_name(&path), len);
                 }
             }
         }
+        self.state.lock().sizes = sizes;
         self.used_bytes.store(total, Ordering::Relaxed);
         self.sync_used_gauge();
         Ok(())

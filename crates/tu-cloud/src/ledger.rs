@@ -18,7 +18,9 @@
 //! extra threads. Tests drive [`CostLedger::record`] directly with synthetic
 //! timestamps for determinism.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use tu_common::lockdep::{self, Mutex};
 
 use crate::pricing::{self, Tier};
 use tu_obs::MetricsSnapshot;
@@ -95,11 +97,14 @@ impl CostLedger {
     /// (minimum 1).
     pub fn new(capacity: usize) -> Arc<Self> {
         Arc::new(CostLedger {
-            inner: Mutex::new(Inner {
-                capacity: capacity.max(1),
-                windows: Vec::new(),
-                last: None,
-            }),
+            inner: Mutex::new(
+                &lockdep::CLOUD_LEDGER_INNER,
+                Inner {
+                    capacity: capacity.max(1),
+                    windows: Vec::new(),
+                    last: None,
+                },
+            ),
         })
     }
 
@@ -107,10 +112,7 @@ impl CostLedger {
     /// every subsequent call closes a window `[last_at, at_ms)` from the
     /// counter deltas and prices it.
     pub fn record(&self, at_ms: i64, snap: &MetricsSnapshot) {
-        let mut inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
+        let mut inner = self.inner.lock();
         if let Some((last_at, last_snap)) = inner.last.take() {
             let delta = snap.since(&last_snap);
             let dur_ms = (at_ms - last_at).max(0);
@@ -156,10 +158,7 @@ impl CostLedger {
 
     /// The retained windows, oldest first.
     pub fn windows(&self) -> Vec<CostWindow> {
-        match self.inner.lock() {
-            Ok(g) => g.windows.clone(),
-            Err(p) => p.into_inner().windows.clone(),
-        }
+        self.inner.lock().windows.clone()
     }
 
     /// Sums request/byte counts and $-costs across all retained windows,

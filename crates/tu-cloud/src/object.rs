@@ -13,7 +13,7 @@ use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use crate::cost::{CostClock, LatencyModel, StorageStats, TierCounters};
 use tu_common::{Error, Result};
@@ -60,7 +60,7 @@ impl ObjectStore {
             obs: TierCounters::for_tier("object"),
             used_bytes: AtomicU64::new(0),
             used_gauge: tu_obs::gauge("cloud.object.used_bytes"),
-            state: Mutex::new(State::default()),
+            state: Mutex::new(&lockdep::CLOUD_OBJECT_STATE, State::default()),
         };
         store.reindex()?;
         Ok(store)
@@ -72,8 +72,10 @@ impl ObjectStore {
     }
 
     fn reindex(&self) -> Result<()> {
-        let mut state = self.state.lock();
-        state.sizes.clear();
+        // Walk the tree before taking the lock: directory I/O under
+        // `state` would stall every concurrent reader/writer for the
+        // duration of the scan.
+        let mut sizes = HashMap::new();
         let mut total = 0;
         let mut stack = vec![self.root.clone()];
         while let Some(dir) = stack.pop() {
@@ -85,10 +87,11 @@ impl ObjectStore {
                 } else {
                     let len = entry.metadata()?.len();
                     total += len;
-                    state.sizes.insert(self.rel_name(&path), len);
+                    sizes.insert(self.rel_name(&path), len);
                 }
             }
         }
+        self.state.lock().sizes = sizes;
         self.used_bytes.store(total, Ordering::Relaxed);
         self.sync_used_gauge();
         Ok(())

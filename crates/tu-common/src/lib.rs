@@ -15,6 +15,11 @@ pub mod pool;
 pub mod types;
 pub mod varint;
 
+/// The debug-build runtime lock witness (lives in `tu-obs` because that
+/// crate sits at the bottom of the dependency graph; re-exported here so
+/// every subsystem wraps its locks through one path).
+pub use tu_obs::lockdep;
+
 pub use error::{Error, Result};
 pub use types::{
     GroupId, Labels, Sample, SeriesId, SeriesRef, TimeRange, Timestamp, Value, GROUP_ID_FLAG,

@@ -19,7 +19,8 @@
 //! nothing — tasks already run under the caller's thread-local contexts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::lockdep::{self, Mutex};
 
 /// Environment variable overriding the query thread count
 /// (`TU_QUERY_THREADS=1` forces sequential execution; CI runs the test
@@ -91,7 +92,9 @@ impl WorkerPool {
             return (0..n).map(f).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n)
+            .map(|_| Mutex::new(&lockdep::COMMON_POOL_SLOT, None))
+            .collect();
         let trace = tu_obs::trace::current_handle();
         std::thread::scope(|s| {
             for _ in 0..self.threads.min(n) {
@@ -103,7 +106,7 @@ impl WorkerPool {
                             break;
                         }
                         let out = f(i);
-                        *slots[i].lock().expect("result slot poisoned") = Some(out);
+                        *slots[i].lock() = Some(out);
                     }
                 });
             }
@@ -112,7 +115,6 @@ impl WorkerPool {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result slot poisoned")
                     .expect("every task index is claimed exactly once")
             })
             .collect()

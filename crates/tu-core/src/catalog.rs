@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use tu_cloud::block::BlockStore;
 use tu_common::{varint, Error, GroupId, Labels, Result, SeriesId, SeriesRef};
@@ -162,7 +162,7 @@ impl Catalog {
         Catalog {
             store,
             name: name.into(),
-            pending: Mutex::new(Vec::new()),
+            pending: Mutex::new(&lockdep::CORE_CATALOG_PENDING, Vec::new()),
         }
     }
 

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use tu_cloud::cost::LatencyMode;
 use tu_cloud::StorageEnv;
@@ -290,20 +290,20 @@ impl TimeUnion {
             series_arena,
             group_ts_arena,
             group_val_arena,
-            series: ShardedMap::new(),
-            by_labels: ShardedMap::new(),
-            groups: ShardedMap::new(),
-            group_by_tags: ShardedMap::new(),
+            series: ShardedMap::new(&lockdep::CORE_MAP_OBJECTS),
+            by_labels: ShardedMap::new(&lockdep::CORE_MAP_LABELS),
+            groups: ShardedMap::new(&lockdep::CORE_MAP_OBJECTS),
+            group_by_tags: ShardedMap::new(&lockdep::CORE_MAP_LABELS),
             next_series: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
             max_chunk_span: AtomicI64::new(0),
-            pending_ckpts: Mutex::new(Vec::new()),
+            pending_ckpts: Mutex::new(&lockdep::ENGINE_CKPTS, Vec::new()),
             wal_unflushed: AtomicU64::new(0),
             replaying: std::sync::atomic::AtomicBool::new(false),
             wal_ok: std::sync::atomic::AtomicBool::new(true),
             shutting_down: std::sync::atomic::AtomicBool::new(false),
-            worker: Mutex::new(None),
-            serve: Mutex::new(None),
+            worker: Mutex::new(&lockdep::ENGINE_WORKER, None),
+            serve: Mutex::new(&lockdep::ENGINE_SERVE, None),
             query_threads: std::sync::atomic::AtomicUsize::new(
                 tu_common::pool::WorkerPool::resolve(opts.query_threads).threads(),
             ),
@@ -314,7 +314,7 @@ impl TimeUnion {
                 )
                 .threads(),
             ),
-            maintenance: Mutex::new(()),
+            maintenance: Mutex::new(&lockdep::ENGINE_MAINTENANCE, ()),
             obs: EngineObs::resolve(),
             opts,
         };
@@ -622,13 +622,15 @@ impl TimeUnion {
                     let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
                     self.index.add(&labels, id)?;
                     self.by_labels.insert(labels.to_bytes(), id);
-                    self.series.insert(id, Arc::new(Mutex::new(obj)));
+                    self.series
+                        .insert(id, Arc::new(Mutex::new(&lockdep::CORE_OBJECT, obj)));
                     self.next_series.fetch_max(id + 1, Ordering::Relaxed);
                 }
                 CatalogRecord::Group { gid, group_tags } => {
                     let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
                     self.group_by_tags.insert(group_tags.to_bytes(), gid);
-                    self.groups.insert(gid, Arc::new(Mutex::new(obj)));
+                    self.groups
+                        .insert(gid, Arc::new(Mutex::new(&lockdep::CORE_OBJECT, obj)));
                     self.next_group
                         .fetch_max((gid & !GROUP_ID_FLAG) + 1, Ordering::Relaxed);
                 }
@@ -866,7 +868,8 @@ impl TimeUnion {
         }
         let id = self.next_series.fetch_add(1, Ordering::Relaxed);
         let obj = SeriesObject::new(id, labels.clone(), &self.series_arena)?;
-        self.series.insert(id, Arc::new(Mutex::new(obj)));
+        self.series
+            .insert(id, Arc::new(Mutex::new(&lockdep::CORE_OBJECT, obj)));
         by_labels.insert(key, id);
         drop(by_labels);
         self.index.add(labels, id)?;
@@ -1056,7 +1059,8 @@ impl TimeUnion {
         }
         let gid = self.next_group.fetch_add(1, Ordering::Relaxed) | GROUP_ID_FLAG;
         let obj = GroupObject::new(gid, group_tags.clone(), &self.group_ts_arena)?;
-        self.groups.insert(gid, Arc::new(Mutex::new(obj)));
+        self.groups
+            .insert(gid, Arc::new(Mutex::new(&lockdep::CORE_OBJECT, obj)));
         by_tags.insert(key, gid);
         drop(by_tags);
         // Group tags are indexed under the group ID so selectors on shared

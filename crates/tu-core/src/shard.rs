@@ -14,9 +14,8 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::RwLockWriteGuard;
 
-use parking_lot::RwLock;
+use tu_common::lockdep::{self, LockClass, RwLock, RwLockWriteGuard};
 
 /// Shard count. A power of two well above the thread counts we fan out
 /// to (8), so the probability of two concurrent writers colliding on a
@@ -30,9 +29,14 @@ pub struct ShardedMap<K, V> {
 }
 
 impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
-    pub fn new() -> Self {
+    /// `class` is the lock-witness class charged for every shard lock;
+    /// the engine distinguishes its label-index maps from its object maps
+    /// so the runtime witness can order them (`docs/LOCK_ORDER.md`).
+    pub fn new(class: &'static LockClass) -> Self {
         ShardedMap {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(class, HashMap::new()))
+                .collect(),
             hasher: RandomState::new(),
         }
     }
@@ -98,7 +102,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
 
 impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
     fn default() -> Self {
-        Self::new()
+        Self::new(&lockdep::CORE_MAP_SHARD)
     }
 }
 
@@ -108,7 +112,7 @@ mod tests {
 
     #[test]
     fn insert_get_remove_round_trip() {
-        let m: ShardedMap<u64, String> = ShardedMap::new();
+        let m: ShardedMap<u64, String> = ShardedMap::default();
         assert!(m.is_empty());
         for i in 0..500u64 {
             assert!(m.insert(i, format!("v{i}")).is_none());
@@ -123,7 +127,7 @@ mod tests {
 
     #[test]
     fn snapshots_cover_every_shard() {
-        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let m: ShardedMap<u64, u64> = ShardedMap::default();
         for i in 0..200u64 {
             m.insert(i, i * 2);
         }
@@ -138,7 +142,7 @@ mod tests {
 
     #[test]
     fn lock_shard_serializes_same_key_creators() {
-        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let m: ShardedMap<u64, u64> = ShardedMap::default();
         {
             let mut guard = m.lock_shard(&7);
             if !guard.contains_key(&7) {
@@ -150,7 +154,7 @@ mod tests {
 
     #[test]
     fn concurrent_writers_on_distinct_keys() {
-        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let m: ShardedMap<u64, u64> = ShardedMap::default();
         std::thread::scope(|s| {
             for t in 0..8u64 {
                 let m = &m;

@@ -104,6 +104,9 @@ impl DoubleArrayTrie {
         inner.base.sync()?;
         inner.check.sync()?;
         inner.tail.sync()?;
+        // tu-lint: allow(held-lock-io): the key-count sidecar must match the
+        // synced arrays exactly, so writers stay excluded until it is on disk;
+        // sync runs on the maintenance path, never under a query.
         std::fs::write(dir.as_ref().join("trie.keys"), inner.keys.to_le_bytes())?;
         Ok(())
     }

@@ -13,6 +13,7 @@
 //! * [`lint_source`] — lint a single in-memory file, used by self-tests.
 
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 
@@ -20,8 +21,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use locks::{Edge, Manifest};
 pub use report::{Finding, Report, UnusedAllow};
-pub use rules::{lint_source, ALL_RULES};
+pub use rules::{lint_source, lint_source_with, ALL_RULES};
 
 /// Directories under the workspace root that contain first-party sources.
 /// `vendor/` (third-party stubs) and `target/` are deliberately absent.
@@ -31,6 +33,22 @@ const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"]
 /// returns the aggregate report. Files are visited in sorted order so the
 /// report is deterministic.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint_workspace_with_edges(root)?.0)
+}
+
+/// [`lint_workspace`] additionally returning the observed cross-file
+/// lock-nesting edges (the static lock graph, for `--lock-graph`).
+///
+/// The lock hierarchy comes from `root`'s own `docs/LOCK_ORDER.md` when it
+/// parses, so `--root` works on checkouts whose manifest differs from the
+/// one embedded at compile time; otherwise the embedded copy is used.
+pub fn lint_workspace_with_edges(root: &Path) -> io::Result<(Report, Vec<Edge>)> {
+    let manifest_owned = fs::read_to_string(root.join("docs/LOCK_ORDER.md"))
+        .ok()
+        .and_then(|text| Manifest::parse(&text).ok());
+    let manifest = manifest_owned
+        .as_ref()
+        .unwrap_or_else(|| locks::embedded_manifest());
     let mut files = Vec::new();
     for dir in SOURCE_ROOTS {
         let path = root.join(dir);
@@ -40,6 +58,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     }
     files.sort();
     let mut report = Report::default();
+    let mut edges = Vec::new();
     for path in files {
         let src = fs::read_to_string(&path)?;
         let rel = path
@@ -47,10 +66,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let (findings, unused) = rules::lint_source(&rel, &src);
+        let (findings, unused) = rules::lint_source_with(&rel, &src, manifest, &mut edges);
         report.add_file(&rel, findings, unused);
     }
-    Ok(report)
+    edges.sort();
+    edges.dedup();
+    Ok((report, edges))
 }
 
 /// The workspace root when running under cargo: two levels above this

@@ -1,0 +1,1126 @@
+//! The concurrency-discipline pass: lock-order, held-lock-io, and
+//! condvar-discipline.
+//!
+//! Unlike the token-sequence rules in [`crate::rules`], this pass is
+//! block/expression aware: it tracks lock-*acquisition scopes* — guards
+//! bound with `let` and held across statements, temporaries held to the
+//! end of their statement, `match`/`for` scrutinee guards held through the
+//! whole block — and checks every acquisition against the declared lock
+//! hierarchy in `docs/LOCK_ORDER.md`.
+//!
+//! Three rules:
+//!
+//! * **lock-order** — acquiring a lock class whose declared rank is not
+//!   strictly above every class already held by the enclosing scope is an
+//!   ordering violation (two threads interleaving the two orders
+//!   deadlock). Acquiring a lock the manifest does not classify, in an
+//!   enforced crate, is also a finding: the manifest must stay complete.
+//! * **held-lock-io** — blocking filesystem I/O (`std::fs::*`,
+//!   `File::open`, `sync_all`, `read_exact`, …) while any guard is live
+//!   stalls every thread queued on that lock for the duration of a disk
+//!   (or simulated object-store) round trip. Classes that exist to
+//!   serialize I/O by design carry the `io` flag in the manifest.
+//! * **condvar-discipline** — `Condvar::wait*` releases exactly one mutex;
+//!   any *other* guard held across the wait stays locked while the thread
+//!   sleeps, which is a deadlock if the waker needs that lock.
+//!
+//! The analysis is intra-procedural: a guard returned from a helper (e.g.
+//! `WalWriter::lock_commit`) is tracked at the helper's call sites via a
+//! manifest *alias bind* (`path::method()`), and anything deeper is the
+//! runtime witness's job (`tu_obs::lockdep`). See
+//! `docs/STATIC_ANALYSIS.md` § Concurrency rules for the full semantics
+//! and limitations.
+
+use crate::report::Finding;
+use crate::rules::FileView;
+
+/// Files the pass skips entirely: the lockdep instrumentation layer is
+/// the mechanism that *implements* the hierarchy, so its internal
+/// `inner.lock()` calls are definitionally unclassifiable.
+const LOCK_EXEMPT_FILES: &[&str] = &["crates/tu-obs/src/lockdep.rs"];
+
+/// Crates where an unclassified acquisition is a finding. Everything
+/// first-party except the lint tool itself (which has no locks and whose
+/// fixtures deliberately mention lock syntax).
+fn is_enforced(crate_name: &str) -> bool {
+    crate_name != "tu-lint"
+}
+
+/// Methods whose zero-argument call on a receiver acquires a lock.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Methods that acquire a lock but take arguments (the sharded-map
+/// write-lock helper takes the key).
+const ACQUIRE_METHODS_WITH_ARGS: &[&str] = &["lock_shard"];
+
+/// Condition-variable wait methods.
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Zero-argument-irrelevant blocking I/O *method* names (matched as
+/// `.name(`). `flush` is deliberately absent: the workspace overloads it
+/// for memtable flushes.
+const IO_METHODS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+];
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One `path::ident` (receiver bind) or `path::ident()` (alias-call bind)
+/// entry from the manifest. A path ending in `/` is a prefix; otherwise it
+/// must equal the workspace-relative file path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bind {
+    pub path: String,
+    pub ident: String,
+    /// True for `path::method()` binds: the *method name* acquires the
+    /// class (for helpers that return guards), independent of receiver.
+    pub alias_call: bool,
+}
+
+impl Bind {
+    fn matches_path(&self, rel_path: &str) -> bool {
+        if self.path.ends_with('/') {
+            rel_path.starts_with(&self.path)
+        } else {
+            rel_path == self.path
+        }
+    }
+}
+
+/// One declared lock class.
+#[derive(Debug, Clone)]
+pub struct LockClassDef {
+    pub name: String,
+    /// Position in the total order; acquisitions must strictly ascend.
+    pub rank: u16,
+    /// Same-class nested acquisition is tolerated (sharded structures
+    /// where the static pass cannot distinguish instances).
+    pub multi: bool,
+    /// Blocking I/O under this lock is by design (I/O-serialization
+    /// locks); held-lock-io does not fire for it.
+    pub io_ok: bool,
+    pub binds: Vec<Bind>,
+}
+
+/// The parsed `docs/LOCK_ORDER.md` manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    pub classes: Vec<LockClassDef>,
+}
+
+impl Manifest {
+    /// Parses the markdown manifest: every table row
+    /// `| rank | class | flags | binds |` between pipes, skipping the
+    /// header and separator rows. Unknown flags, duplicate ranks, and
+    /// duplicate class names are errors.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut classes: Vec<LockClassDef> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.len() < 4 || cells[0].starts_with('-') || cells[0] == "rank" {
+                continue;
+            }
+            let rank: u16 = cells[0]
+                .parse()
+                .map_err(|_| format!("line {}: bad rank {:?}", lineno + 1, cells[0]))?;
+            let name = cells[1].trim_matches('`').to_string();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+            {
+                return Err(format!("line {}: bad class name {:?}", lineno + 1, name));
+            }
+            let mut multi = false;
+            let mut io_ok = false;
+            for flag in cells[2].split(',').map(str::trim).filter(|f| !f.is_empty()) {
+                match flag {
+                    "multi" => multi = true,
+                    "io" => io_ok = true,
+                    other => return Err(format!("line {}: unknown flag {other:?}", lineno + 1)),
+                }
+            }
+            let mut binds = Vec::new();
+            for b in cells[3]
+                .split(',')
+                .map(|b| b.trim().trim_matches('`'))
+                .filter(|b| !b.is_empty() && *b != "—" && *b != "-")
+            {
+                let Some((path, ident)) = b.rsplit_once("::") else {
+                    return Err(format!(
+                        "line {}: bind {b:?} is not path::ident",
+                        lineno + 1
+                    ));
+                };
+                let (ident, alias_call) = match ident.strip_suffix("()") {
+                    Some(m) => (m, true),
+                    None => (ident, false),
+                };
+                if ident.is_empty() || path.is_empty() {
+                    return Err(format!(
+                        "line {}: bind {b:?} is not path::ident",
+                        lineno + 1
+                    ));
+                }
+                binds.push(Bind {
+                    path: path.to_string(),
+                    ident: ident.to_string(),
+                    alias_call,
+                });
+            }
+            if classes.iter().any(|c| c.name == name) {
+                return Err(format!("line {}: duplicate class {name:?}", lineno + 1));
+            }
+            if classes.iter().any(|c| c.rank == rank) {
+                return Err(format!("line {}: duplicate rank {rank}", lineno + 1));
+            }
+            classes.push(LockClassDef {
+                name,
+                rank,
+                multi,
+                io_ok,
+                binds,
+            });
+        }
+        if classes.is_empty() {
+            return Err("no lock classes found in manifest".to_string());
+        }
+        Ok(Manifest { classes })
+    }
+
+    /// Resolves an acquisition to a class index: `ident` is the receiver
+    /// ident (or, for `alias_call`, the called method name).
+    fn resolve(&self, rel_path: &str, ident: &str, alias_call: bool) -> Option<usize> {
+        self.classes.iter().position(|c| {
+            c.binds
+                .iter()
+                .any(|b| b.alias_call == alias_call && b.ident == ident && b.matches_path(rel_path))
+        })
+    }
+
+    /// True when any alias-call bind in `rel_path` names `method`.
+    fn is_alias_method(&self, rel_path: &str, method: &str) -> bool {
+        self.resolve(rel_path, method, true).is_some()
+    }
+}
+
+/// The embedded manifest (`docs/LOCK_ORDER.md` at compile time), parsed
+/// once. Panics if the checked-in manifest is malformed — the self-tests
+/// and the tier-1 lint test catch that before it can ship.
+pub fn embedded_manifest() -> &'static Manifest {
+    use std::sync::OnceLock;
+    static PARSED: OnceLock<Manifest> = OnceLock::new();
+    PARSED.get_or_init(|| {
+        Manifest::parse(include_str!("../../../docs/LOCK_ORDER.md"))
+            .expect("docs/LOCK_ORDER.md parses")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lock graph
+// ---------------------------------------------------------------------------
+
+/// One observed nesting edge: a lock of class `to` acquired while a lock
+/// of class `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Guard-scope tracking
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Release {
+    /// Released when the block at `depth` closes (`let`-bound guards).
+    Block,
+    /// Released at the end of the statement (temporary guards).
+    Stmt,
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Index into `manifest.classes`, or None for unclassified receivers.
+    class: Option<usize>,
+    /// The `let`-bound variable name, when there is one (`drop(name)`
+    /// releases it early).
+    var: Option<String>,
+    depth: usize,
+    /// Paren-nesting depth at acquisition. A `Stmt` temporary created
+    /// inside a call argument or closure (`map(|o| o.lock().len())`)
+    /// dies when its enclosing paren group closes — slightly early for
+    /// plain call arguments (which really live to the statement's end),
+    /// but exact for the per-element closure temporaries that dominate
+    /// the codebase.
+    paren: usize,
+    release: Release,
+    line: u32,
+}
+
+/// Runs the pass over one file, appending findings and observed nesting
+/// edges. Test files and test regions are skipped: the discipline guards
+/// production code paths.
+pub(crate) fn scan(
+    file: &FileView,
+    manifest: &Manifest,
+    findings: &mut Vec<Finding>,
+    edges: &mut Vec<Edge>,
+) {
+    if file.is_test_file || LOCK_EXEMPT_FILES.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    let enforced = is_enforced(&file.crate_name);
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    let mut stmt_kw = String::new();
+    let mut stmt_start = 0usize;
+    let mut k = 0usize;
+    while k < file.code.len() {
+        if file.is_punct(k, b'(') {
+            paren += 1;
+            k += 1;
+            continue;
+        }
+        if file.is_punct(k, b')') {
+            paren = paren.saturating_sub(1);
+            held.retain(|g| !(g.release == Release::Stmt && g.paren > paren));
+            k += 1;
+            continue;
+        }
+        if file.is_punct(k, b'{') {
+            // Temporaries in an `if`/`while` condition die before the
+            // block; `match`/`for` scrutinee temporaries live through it.
+            let extend = stmt_kw == "match" || stmt_kw == "for";
+            held.retain_mut(|g| {
+                if g.release == Release::Stmt && g.depth == depth {
+                    if extend {
+                        g.release = Release::Block;
+                        g.depth = depth + 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    true
+                }
+            });
+            depth += 1;
+            stmt_kw.clear();
+            stmt_start = k + 1;
+            k += 1;
+            continue;
+        }
+        if file.is_punct(k, b'}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            stmt_kw.clear();
+            stmt_start = k + 1;
+            k += 1;
+            continue;
+        }
+        if file.is_punct(k, b';') {
+            held.retain(|g| !(g.release == Release::Stmt && g.depth >= depth));
+            stmt_kw.clear();
+            stmt_start = k + 1;
+            k += 1;
+            continue;
+        }
+        if stmt_kw.is_empty() && file.kind(k) == Some(crate::lexer::TokenKind::Ident) {
+            stmt_kw = file.text(k).to_string();
+        }
+        // drop(name) releases a let-bound guard early.
+        if file.is_ident(k, "drop")
+            && file.is_punct(k + 1, b'(')
+            && file.kind(k + 2) == Some(crate::lexer::TokenKind::Ident)
+            && file.is_punct(k + 3, b')')
+        {
+            let name = file.text(k + 2);
+            if let Some(pos) = held.iter().rposition(|g| g.var.as_deref() == Some(name)) {
+                held.remove(pos);
+            }
+            k += 4;
+            continue;
+        }
+        let in_test = file.in_test_region(k);
+        // Acquisition?
+        if let Some((class, meth_k)) = acquisition_at(file, manifest, k) {
+            if !in_test {
+                check_order(
+                    file, manifest, &held, class, meth_k, enforced, findings, edges,
+                );
+                let var = binding_var(file, stmt_start, k);
+                let (release, gdepth) = match &var {
+                    // `if let` / `while let` bind the guard into the block
+                    // that follows the condition.
+                    Some(_) if stmt_kw == "if" || stmt_kw == "while" || stmt_kw == "else" => {
+                        (Release::Block, depth + 1)
+                    }
+                    Some(_) => (Release::Block, depth),
+                    None => (Release::Stmt, depth),
+                };
+                held.push(Guard {
+                    class,
+                    var,
+                    depth: gdepth,
+                    paren,
+                    release,
+                    line: file.line(meth_k),
+                });
+            }
+            k = meth_k + 1;
+            continue;
+        }
+        // Condvar wait?
+        if !in_test && !held.is_empty() && file.is_punct(k, b'.') && file.is_punct(k + 2, b'(') {
+            if WAIT_METHODS.iter().any(|m| file.is_ident(k + 1, m)) && held.len() >= 2 {
+                let held_names = held_class_names(manifest, &held);
+                findings.push(Finding {
+                    rule: "condvar-discipline",
+                    file: file.rel_path.clone(),
+                    line: file.line(k + 1),
+                    message: format!(
+                        "`.{}()` while {} guards are live ({}); a condvar wait \
+                         releases only its own mutex — every other lock stays \
+                         held while this thread sleeps",
+                        file.text(k + 1),
+                        held.len(),
+                        held_names
+                    ),
+                    allowed: false,
+                    reason: None,
+                });
+            }
+        }
+        // Blocking I/O under a guard?
+        if !in_test && !held.is_empty() {
+            if let Some(io_name) = io_call_at(file, k) {
+                // Only classes *not* flagged io (or unclassified guards)
+                // make this a finding.
+                if let Some(g) = held
+                    .iter()
+                    .find(|g| g.class.map_or(true, |c| !manifest.classes[c].io_ok))
+                {
+                    let holder = g
+                        .class
+                        .map(|c| manifest.classes[c].name.clone())
+                        .unwrap_or_else(|| "<unclassified>".to_string());
+                    findings.push(Finding {
+                        rule: "held-lock-io",
+                        file: file.rel_path.clone(),
+                        line: file.line(k),
+                        message: format!(
+                            "blocking I/O (`{io_name}`) while holding `{holder}` \
+                             (acquired line {}); move the I/O outside the guard \
+                             or flag the class `io` in docs/LOCK_ORDER.md",
+                            g.line
+                        ),
+                        allowed: false,
+                        reason: None,
+                    });
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Reports lock-order findings for acquiring `class` with `held` live,
+/// and records nesting edges.
+#[allow(clippy::too_many_arguments)]
+fn check_order(
+    file: &FileView,
+    manifest: &Manifest,
+    held: &[Guard],
+    class: Option<usize>,
+    meth_k: usize,
+    enforced: bool,
+    findings: &mut Vec<Finding>,
+    edges: &mut Vec<Edge>,
+) {
+    let line = file.line(meth_k);
+    let Some(new) = class else {
+        if enforced {
+            findings.push(Finding {
+                rule: "lock-order",
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "unclassified lock acquisition `{}`; add a \
+                     `path::receiver` bind for it to docs/LOCK_ORDER.md so \
+                     the hierarchy stays complete",
+                    acquisition_text(file, meth_k)
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+        return;
+    };
+    let new_def = &manifest.classes[new];
+    for g in held {
+        let Some(h) = g.class else { continue };
+        edges.push(Edge {
+            from: manifest.classes[h].name.clone(),
+            to: new_def.name.clone(),
+            file: file.rel_path.clone(),
+            line,
+        });
+        let h_def = &manifest.classes[h];
+        let ok = h_def.rank < new_def.rank || (h == new && new_def.multi);
+        if !ok {
+            findings.push(Finding {
+                rule: "lock-order",
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "acquires `{}` (rank {}) while holding `{}` (rank {}, \
+                     acquired line {}); the declared hierarchy in \
+                     docs/LOCK_ORDER.md requires strictly ascending ranks",
+                    new_def.name, new_def.rank, h_def.name, h_def.rank, g.line
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+fn held_class_names(manifest: &Manifest, held: &[Guard]) -> String {
+    held.iter()
+        .map(|g| match g.class {
+            Some(c) => format!("`{}`", manifest.classes[c].name),
+            None => "`<unclassified>`".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Detects a lock acquisition starting at code index `k` (the receiver
+/// position is discovered by walking back from the `.`). Returns the
+/// resolved class (None = unclassified) and the code index of the method
+/// ident. `k` must sit on the `.` of `recv.meth(...)`.
+fn acquisition_at(
+    file: &FileView,
+    manifest: &Manifest,
+    k: usize,
+) -> Option<(Option<usize>, usize)> {
+    if !file.is_punct(k, b'.') || !file.is_punct(k + 2, b'(') {
+        return None;
+    }
+    let meth = file.text(k + 1);
+    let zero_arg = file.is_punct(k + 3, b')');
+    let is_plain = ACQUIRE_METHODS.contains(&meth) && zero_arg;
+    let is_args = ACQUIRE_METHODS_WITH_ARGS.contains(&meth);
+    let is_alias = zero_arg && manifest.is_alias_method(&file.rel_path, meth);
+    if !is_plain && !is_args && !is_alias {
+        return None;
+    }
+    if is_alias {
+        let class = manifest.resolve(&file.rel_path, meth, true);
+        return Some((class, k + 1));
+    }
+    let recv = receiver_ident(file, k)?;
+    let class = manifest.resolve(&file.rel_path, &recv, false);
+    Some((class, k + 1))
+}
+
+/// The receiver identifier of the method call whose `.` sits at `k`:
+/// walks left over one `[...]` index or `(...)` call, then expects an
+/// ident. `self.shards[i].lock()` → `shards`; `clock_slot().read()` →
+/// `clock_slot`; `state.lock()` → `state`.
+fn receiver_ident(file: &FileView, k: usize) -> Option<String> {
+    let mut j = k.checked_sub(1)?;
+    loop {
+        if file.is_punct(j, b']') {
+            j = matching_open(file, j, b'[', b']')?.checked_sub(1)?;
+        } else if file.is_punct(j, b')') {
+            j = matching_open(file, j, b'(', b')')?.checked_sub(1)?;
+        } else {
+            break;
+        }
+    }
+    if file.kind(j) == Some(crate::lexer::TokenKind::Ident) {
+        Some(file.text(j).to_string())
+    } else {
+        None
+    }
+}
+
+/// Code index of the opener matching the closer at `close`, scanning
+/// backward.
+fn matching_open(file: &FileView, close: usize, open: u8, shut: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        if file.is_punct(j, shut) {
+            depth += 1;
+        } else if file.is_punct(j, open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// Renders `recv.meth` for an unclassified-acquisition message.
+fn acquisition_text(file: &FileView, meth_k: usize) -> String {
+    let recv = receiver_ident(file, meth_k - 1).unwrap_or_else(|| "?".to_string());
+    format!("{recv}.{}()", file.text(meth_k))
+}
+
+/// If the statement beginning at `stmt_start` `let`-binds the *guard*
+/// of the acquisition at `acq_k` (the `.` token), returns the bound
+/// variable. Handles `let [mut] name [: T] = …`, `if let Pat(name) = …`,
+/// `while let Pat(name) = …`.
+///
+/// The guard is bound — as opposed to being a temporary inside the
+/// initializer (`let n = x.lock().len();`) — only when the acquisition
+/// chain *is* the whole initializer: it starts right after `=` and,
+/// after the acquisition's closing paren, only poison-recovery adapters
+/// (`.unwrap()`, `.expect(…)`, `.unwrap_or_else(…)`) precede the
+/// terminating `;` or `{`.
+fn binding_var(file: &FileView, stmt_start: usize, acq_k: usize) -> Option<String> {
+    let mut let_k = None;
+    for j in stmt_start..acq_k.min(stmt_start + 12) {
+        if file.is_ident(j, "let") {
+            let_k = Some(j);
+            break;
+        }
+    }
+    let let_k = let_k?;
+    // Find the `=` between the pattern and the acquisition.
+    let mut eq = None;
+    for j in let_k + 1..acq_k {
+        if file.is_punct(j, b'=') && !file.is_punct(j + 1, b'=') && !file.is_punct(j - 1, b'=') {
+            eq = Some(j);
+            break;
+        }
+    }
+    let eq = eq?;
+    // The initializer must start with the acquisition's receiver chain
+    // (`self.head.read()`, `clock_slot().read()`): no leading `*`, `&`,
+    // or wrapping call.
+    if chain_start(file, acq_k) != eq + 1 {
+        return None;
+    }
+    // Past the acquisition's `(…)`: skip poison-recovery adapters, then
+    // require the statement (or `if let` condition) to end.
+    let mut j = matching_close(file, acq_k + 2)? + 1;
+    while file.is_punct(j, b'.')
+        && file.is_punct(j + 2, b'(')
+        && ["unwrap", "expect", "unwrap_or_else"].contains(&file.text(j + 1))
+    {
+        j = matching_close(file, j + 2)? + 1;
+    }
+    if !(file.is_punct(j, b';') || file.is_punct(j, b'{')) {
+        return None;
+    }
+    // Last non-`mut` ident in the pattern: `g` in `Some(mut g)`, `name`
+    // in `let mut name: T`.
+    (let_k + 1..eq)
+        .rev()
+        .filter(|&j| file.kind(j) == Some(crate::lexer::TokenKind::Ident))
+        .map(|j| file.text(j).to_string())
+        .find(|t| t != "mut")
+}
+
+/// Code index of the leftmost token of the method-call chain whose `.`
+/// sits at `acq_k`: `self.head.read()` → the `self`; `clock_slot().read()`
+/// → the `clock_slot`.
+fn chain_start(file: &FileView, acq_k: usize) -> usize {
+    let mut j = acq_k;
+    loop {
+        let Some(mut p) = j.checked_sub(1) else {
+            return j;
+        };
+        // Step over one `[...]` / `(...)` postfix.
+        loop {
+            if file.is_punct(p, b']') {
+                match matching_open(file, p, b'[', b']').and_then(|o| o.checked_sub(1)) {
+                    Some(q) => p = q,
+                    None => return j,
+                }
+            } else if file.is_punct(p, b')') {
+                match matching_open(file, p, b'(', b')').and_then(|o| o.checked_sub(1)) {
+                    Some(q) => p = q,
+                    None => return j,
+                }
+            } else {
+                break;
+            }
+        }
+        if file.kind(p) == Some(crate::lexer::TokenKind::Ident) {
+            j = p;
+            // Continue left through `.` / `::` path segments.
+            let Some(q) = p.checked_sub(1) else {
+                return j;
+            };
+            if file.is_punct(q, b'.') {
+                j = q;
+                continue;
+            }
+            if q >= 1 && file.is_punct(q, b':') && file.is_punct(q - 1, b':') {
+                j = q - 1;
+                continue;
+            }
+            return j;
+        }
+        return j;
+    }
+}
+
+/// Code index of the `)` matching the `(` at `open`, scanning forward.
+fn matching_close(file: &FileView, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < file.code.len() {
+        if file.is_punct(j, b'(') {
+            depth += 1;
+        } else if file.is_punct(j, b')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Detects a blocking-I/O call at code index `k`, returning a short name
+/// for the message.
+pub(crate) fn io_call_at(file: &FileView, k: usize) -> Option<String> {
+    // std::fs::anything — `fs :: ident`
+    if file.is_ident(k, "fs")
+        && file.is_punct(k + 1, b':')
+        && file.is_punct(k + 2, b':')
+        && file.kind(k + 3) == Some(crate::lexer::TokenKind::Ident)
+    {
+        return Some(format!("fs::{}", file.text(k + 3)));
+    }
+    if file.is_ident(k, "File")
+        && file.is_punct(k + 1, b':')
+        && file.is_punct(k + 2, b':')
+        && (file.is_ident(k + 3, "open") || file.is_ident(k + 3, "create"))
+    {
+        return Some(format!("File::{}", file.text(k + 3)));
+    }
+    if file.is_ident(k, "OpenOptions") {
+        return Some("OpenOptions".to_string());
+    }
+    if file.is_punct(k, b'.') && file.is_punct(k + 2, b'(') {
+        let meth = file.text(k + 1);
+        if IO_METHODS.contains(&meth) {
+            return Some(format!(".{meth}()"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A self-contained fixture hierarchy, independent of the real
+    /// `docs/LOCK_ORDER.md` so these tests never churn when the
+    /// workspace's lock set evolves.
+    const FIXTURE_MANIFEST: &str = "\
+| rank | class     | flags | binds |
+|-----:|-----------|-------|-------|
+|    1 | fix.outer |       | `crates/tu-core/src/fix.rs::outer` |
+|    2 | fix.inner |       | `crates/tu-core/src/fix.rs::inner` |
+|    3 | fix.shard | multi | `crates/tu-core/src/fix.rs::shards` |
+|    4 | fix.io    | io    | `crates/tu-core/src/fix.rs::iolog` |
+|    5 | fix.alias |       | `crates/tu-core/src/fix.rs::lock_commit()` |
+";
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<Edge>) {
+        let m = Manifest::parse(FIXTURE_MANIFEST).expect("fixture manifest parses");
+        let mut edges = Vec::new();
+        let (findings, unused) =
+            crate::rules::lint_source_with("crates/tu-core/src/fix.rs", src, &m, &mut edges);
+        assert!(unused.is_empty(), "fixture left unused allows: {unused:?}");
+        (findings, edges)
+    }
+
+    fn only(findings: &[Finding], rule: &str) -> Vec<(u32, String)> {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule && !f.allowed)
+            .map(|f| (f.line, f.message.clone()))
+            .collect()
+    }
+
+    // -- manifest parsing ---------------------------------------------------
+
+    #[test]
+    fn manifest_parses_ranks_flags_and_binds() {
+        let m = Manifest::parse(FIXTURE_MANIFEST).unwrap();
+        assert_eq!(m.classes.len(), 5);
+        assert_eq!(m.classes[0].name, "fix.outer");
+        assert_eq!(m.classes[0].rank, 1);
+        assert!(m.classes[2].multi);
+        assert!(m.classes[3].io_ok);
+        let alias = &m.classes[4].binds[0];
+        assert!(alias.alias_call);
+        assert_eq!(alias.ident, "lock_commit");
+        assert_eq!(
+            m.resolve("crates/tu-core/src/fix.rs", "outer", false),
+            Some(0)
+        );
+        assert_eq!(
+            m.resolve("crates/tu-core/src/other.rs", "outer", false),
+            None
+        );
+    }
+
+    #[test]
+    fn manifest_prefix_bind_matches_directory() {
+        let m = Manifest::parse(
+            "| 1 | a.b | | `crates/tu-core/::state` |\n| 2 | c.d | | `x.rs::s` |\n",
+        )
+        .unwrap();
+        assert_eq!(
+            m.resolve("crates/tu-core/src/deep/mod.rs", "state", false),
+            Some(0)
+        );
+        assert_eq!(m.resolve("crates/tu-lsm/src/wal.rs", "state", false), None);
+    }
+
+    #[test]
+    fn manifest_rejects_duplicate_rank_and_name() {
+        assert!(
+            Manifest::parse("| 1 | a.b | | `x.rs::a` |\n| 1 | c.d | | `x.rs::b` |\n")
+                .unwrap_err()
+                .contains("duplicate rank")
+        );
+        assert!(
+            Manifest::parse("| 1 | a.b | | `x.rs::a` |\n| 2 | a.b | | `x.rs::b` |\n")
+                .unwrap_err()
+                .contains("duplicate class")
+        );
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_flag_and_bad_bind() {
+        assert!(Manifest::parse("| 1 | a.b | speedy | `x.rs::a` |\n")
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(Manifest::parse("| 1 | a.b | | `no-separator` |\n")
+            .unwrap_err()
+            .contains("not path::ident"));
+        assert!(Manifest::parse("no table at all").is_err());
+    }
+
+    #[test]
+    fn embedded_manifest_is_the_checked_in_lock_order() {
+        let m = embedded_manifest();
+        assert!(
+            m.classes.len() >= 30,
+            "expected the full workspace hierarchy"
+        );
+        assert!(m.classes.iter().any(|c| c.name == "engine.maintenance"));
+        assert!(m.classes.iter().any(|c| c.name == "lsm.wal.commit"));
+    }
+
+    // -- seeded violations: exact file:line assertions ----------------------
+
+    #[test]
+    fn seeded_lock_order_inversion_is_reported() {
+        let src = "\
+fn bad() {
+    let g = inner.lock();
+    let h = outer.lock();
+    drop(h);
+    drop(g);
+}
+";
+        let (findings, edges) = run(src);
+        let hits = only(&findings, "lock-order");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 3);
+        assert!(hits[0].1.contains("`fix.outer` (rank 1)"), "{}", hits[0].1);
+        assert!(
+            hits[0].1.contains("holding `fix.inner` (rank 2"),
+            "{}",
+            hits[0].1
+        );
+        // The inverted nesting still appears in the graph.
+        assert!(edges
+            .iter()
+            .any(|e| e.from == "fix.inner" && e.to == "fix.outer" && e.line == 3));
+    }
+
+    #[test]
+    fn seeded_unclassified_acquisition_is_reported() {
+        let src = "\
+fn uncls() {
+    let g = mystery.lock();
+    drop(g);
+}
+";
+        let (findings, _) = run(src);
+        let hits = only(&findings, "lock-order");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1.contains("unclassified"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("mystery.lock()"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn seeded_held_lock_io_is_reported() {
+        let src = "\
+fn io_bad(p: &Path, v: &[u8]) {
+    let g = outer.lock();
+    fs::write(p, v).ok();
+    drop(g);
+}
+";
+        let (findings, _) = run(src);
+        let hits = only(&findings, "held-lock-io");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 3);
+        assert!(hits[0].1.contains("fs::write"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("`fix.outer`"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("acquired line 2"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn seeded_condvar_wait_with_second_lock_is_reported() {
+        let src = "\
+fn cv_bad(cv: &Condvar) {
+    let g = outer.lock();
+    let h = inner.lock();
+    let _u = cv.wait(h);
+    drop(g);
+}
+";
+        let (findings, _) = run(src);
+        let hits = only(&findings, "condvar-discipline");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 4);
+        assert!(hits[0].1.contains("2 guards"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn condvar_wait_with_only_its_own_mutex_is_clean() {
+        let src = "\
+fn cv_ok(cv: &Condvar) {
+    let g = inner.lock();
+    let _u = cv.wait(g);
+}
+";
+        let (findings, _) = run(src);
+        assert!(
+            only(&findings, "condvar-discipline").is_empty(),
+            "{findings:?}"
+        );
+    }
+
+    // -- conforming code stays silent ---------------------------------------
+
+    #[test]
+    fn conforming_nesting_and_temporaries_are_clean() {
+        let src = "\
+fn good() {
+    let g = outer.lock();
+    {
+        let h = inner.lock();
+        drop(h);
+    }
+    drop(g);
+    let n = inner.lock().len();
+    let g2 = outer.lock();
+    drop(g2);
+    let _ = n;
+}
+";
+        let (findings, edges) = run(src);
+        assert!(
+            findings.iter().all(|f| f.allowed || f.rule != "lock-order"),
+            "{findings:?}"
+        );
+        assert!(edges
+            .iter()
+            .any(|e| e.from == "fix.outer" && e.to == "fix.inner"));
+        // The temporary on line 8 died at its `;`: no inner→outer edge.
+        assert!(!edges
+            .iter()
+            .any(|e| e.from == "fix.inner" && e.to == "fix.outer"));
+    }
+
+    #[test]
+    fn drop_releases_a_guard_early() {
+        let src = "\
+fn seq() {
+    let g = inner.lock();
+    drop(g);
+    let h = outer.lock();
+    drop(h);
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn multi_flag_tolerates_same_class_nesting() {
+        let src = "\
+fn shards2() {
+    let a = shards.lock();
+    let b = shards.lock();
+    drop(a);
+    drop(b);
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn non_multi_same_class_nesting_is_reported() {
+        let src = "\
+fn twice() {
+    let a = inner.lock();
+    let b = inner.lock();
+    drop(a);
+    drop(b);
+}
+";
+        let (findings, _) = run(src);
+        let hits = only(&findings, "lock-order");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn io_flagged_class_permits_io_under_guard() {
+        let src = "\
+fn log_write(p: &Path, v: &[u8]) {
+    let g = iolog.lock();
+    fs::write(p, v).ok();
+    drop(g);
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "held-lock-io").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn alias_bind_tracks_guard_returning_helpers() {
+        let src = "\
+fn wave(w: &Wal) {
+    let c = w.lock_commit();
+    let g = inner.lock();
+    drop(g);
+    drop(c);
+}
+";
+        let (findings, _) = run(src);
+        let hits = only(&findings, "lock-order");
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].0, 3);
+        assert!(hits[0].1.contains("holding `fix.alias`"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn if_let_guard_is_scoped_to_its_block() {
+        let src = "\
+fn try_path() {
+    if let Some(g) = outer.try_lock() {
+        let h = inner.lock();
+        drop(h);
+        drop(g);
+    }
+    let q = outer.lock();
+    drop(q);
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn closure_temporary_dies_with_its_paren_group() {
+        let src = "\
+fn sum(objs: &[O]) -> usize {
+    objs.iter().map(|o| o.inner.lock().len()).sum::<usize>() + outer.lock().len()
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn initializer_temporary_is_not_a_bound_guard() {
+        // `let n = inner.lock().len();` must not pin fix.inner for the
+        // rest of the block.
+        let src = "\
+fn snap() {
+    let n = inner.lock().len();
+    let g = outer.lock();
+    drop(g);
+    let _ = n;
+}
+";
+        let (findings, _) = run(src);
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_reason() {
+        let src = "\
+fn justified(p: &Path, v: &[u8]) {
+    let g = outer.lock();
+    // tu-lint: allow(held-lock-io): fixture: snapshot must not interleave
+    fs::write(p, v).ok();
+    drop(g);
+}
+";
+        let (findings, _) = run(src);
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == "held-lock-io")
+            .expect("finding still recorded");
+        assert!(hit.allowed);
+        assert_eq!(
+            hit.reason.as_deref(),
+            Some("fixture: snapshot must not interleave")
+        );
+        assert!(only(&findings, "held-lock-io").is_empty());
+    }
+
+    #[test]
+    fn unenforced_crate_skips_unclassified_but_not_order() {
+        // tu-lint itself: unclassified receivers are fine, but a bound
+        // class pair would still be checked if binds matched. Here nothing
+        // binds, so the file is silent.
+        let m = Manifest::parse(FIXTURE_MANIFEST).unwrap();
+        let mut edges = Vec::new();
+        let (findings, _) = crate::rules::lint_source_with(
+            "crates/tu-lint/src/fake.rs",
+            "fn f() { let g = anything.lock(); drop(g); }\n",
+            &m,
+            &mut edges,
+        );
+        assert!(only(&findings, "lock-order").is_empty(), "{findings:?}");
+    }
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p tu-lint                 # human output, exit 1 on findings
 //! cargo run -p tu-lint -- --format json
+//! cargo run -p tu-lint -- --format github   # GitHub Actions annotations
+//! cargo run -p tu-lint -- --lock-graph      # dump the static lock graph
 //! cargo run -p tu-lint -- --root /path/to/workspace
 //! ```
 
@@ -12,23 +14,31 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
+    let mut lock_graph = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
                 Some("json") => format = Format::Json,
                 Some("text") => format = Format::Text,
-                other => return usage(&format!("--format expects json|text, got {other:?}")),
+                Some("github") => format = Format::Github,
+                other => {
+                    return usage(&format!("--format expects json|text|github, got {other:?}"))
+                }
             },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root expects a path"),
             },
+            "--lock-graph" => lock_graph = true,
             "--help" | "-h" => {
                 println!(
                     "tu-lint: TimeUnion workspace static analysis\n\n\
-                     USAGE: tu-lint [--format text|json] [--root <workspace>]\n\n\
+                     USAGE: tu-lint [--format text|json|github] [--lock-graph] [--root <workspace>]\n\n\
                      RULES: {}\n\n\
+                     --lock-graph dumps the observed lock-nesting edges\n\
+                     (`from -> to  file:line`, deduplicated, sorted) instead of\n\
+                     findings; the hierarchy itself lives in docs/LOCK_ORDER.md.\n\n\
                      Suppress one finding with a preceding comment:\n  \
                      // tu-lint: allow(<rule>): <reason>\n\n\
                      See docs/STATIC_ANALYSIS.md for the full guide.",
@@ -41,7 +51,7 @@ fn main() -> ExitCode {
     }
 
     let root = root.unwrap_or_else(tu_lint::workspace_root);
-    let report = match tu_lint::lint_workspace(&root) {
+    let (report, edges) = match tu_lint::lint_workspace_with_edges(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("tu-lint: failed to scan {}: {e}", root.display());
@@ -49,9 +59,21 @@ fn main() -> ExitCode {
         }
     };
 
+    if lock_graph {
+        for e in &edges {
+            println!("{} -> {}  {}:{}", e.from, e.to, e.file, e.line);
+        }
+        eprintln!("tu-lint: {} distinct lock-nesting edges", edges.len());
+        return ExitCode::SUCCESS;
+    }
+
     match format {
         Format::Text => print!("{}", report.render_text()),
         Format::Json => println!("{}", report.to_json()),
+        Format::Github => {
+            print!("{}", report.render_github());
+            eprint!("{}", report.render_text());
+        }
     }
     if report.unallowed_count() > 0 {
         ExitCode::FAILURE
@@ -63,6 +85,7 @@ fn main() -> ExitCode {
 enum Format {
     Text,
     Json,
+    Github,
 }
 
 fn usage(msg: &str) -> ExitCode {

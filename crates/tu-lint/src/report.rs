@@ -88,6 +88,32 @@ impl Report {
         out
     }
 
+    /// GitHub Actions workflow-command rendering: one
+    /// `::warning file=…,line=…,title=…::…` annotation per unallowed
+    /// finding (and per unused allow), so findings surface inline on the
+    /// PR diff. Messages are single-line by construction of the escape.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for f in self.unallowed() {
+            let _ = writeln!(
+                out,
+                "::warning file={},line={},title=tu-lint {}::{}",
+                f.file,
+                f.line,
+                f.rule,
+                escape_gh(&f.message)
+            );
+        }
+        for a in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "::warning file={},line={},title=tu-lint unused-allow::unused `tu-lint: allow({})` directive",
+                a.file, a.line, a.rule
+            );
+        }
+        out
+    }
+
     /// Stable JSON rendering for CI and tooling.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -132,6 +158,14 @@ impl Report {
         out.push_str("]}");
         out
     }
+}
+
+/// GitHub workflow-command data escaping: `%`, CR and LF are the only
+/// characters with meaning in the message position.
+fn escape_gh(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Minimal JSON string escaping (control chars, quote, backslash).
@@ -200,6 +234,19 @@ mod tests {
         assert!(json.contains("\"reason\":\"lock poisoning is fatal by design\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn github_annotations_carry_file_line_and_rule() {
+        let gh = sample().render_github();
+        assert!(gh.contains(
+            "::warning file=crates/tu-lsm/src/tree.rs,line=42,title=tu-lint clock-discipline::"
+        ));
+        assert!(
+            !gh.contains("line=50"),
+            "allowed findings are not annotated"
+        );
+        assert_eq!(escape_gh("a%b\nc"), "a%25b%0Ac");
     }
 
     #[test]

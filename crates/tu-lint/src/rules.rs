@@ -50,7 +50,10 @@ pub const CLOCK_ALLOW_FILES: &[&str] = &["crates/tu-common/src/clock.rs"];
 /// All rule names, for arg validation and docs drift checks.
 pub const ALL_RULES: &[&str] = &[
     "clock-discipline",
+    "condvar-discipline",
     "counter-discipline",
+    "held-lock-io",
+    "lock-order",
     "panic-discipline",
     "print-discipline",
     "unsafe-audit",
@@ -64,6 +67,23 @@ const SAFETY_COMMENT_MAX_DISTANCE_LINES: u32 = 5;
 /// directives already applied (suppressed findings carry `allowed: true`),
 /// plus the file's unused allow directives.
 pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<AllowDirective>) {
+    lint_source_with(
+        rel_path,
+        src,
+        crate::locks::embedded_manifest(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`lint_source`] against an explicit lock-order manifest, additionally
+/// collecting the observed lock-nesting edges (for `--lock-graph` and the
+/// concurrency fixtures).
+pub fn lint_source_with(
+    rel_path: &str,
+    src: &str,
+    manifest: &crate::locks::Manifest,
+    edges: &mut Vec<crate::locks::Edge>,
+) -> (Vec<Finding>, Vec<AllowDirective>) {
     let tokens = lex(src);
     let file = FileView::new(rel_path, src, &tokens);
     let mut raw = Vec::new();
@@ -72,6 +92,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<AllowDirecti
     panic_discipline(&file, &mut raw);
     print_discipline(&file, &mut raw);
     unsafe_audit(&file, &mut raw);
+    crate::locks::scan(&file, manifest, &mut raw, edges);
     raw.sort_by_key(|f| (f.line, f.rule));
     apply_allows(rel_path, raw, file.allows)
 }
@@ -86,16 +107,16 @@ pub struct AllowDirective {
 }
 
 /// Pre-computed per-file context shared by all rules.
-struct FileView<'a> {
-    src: &'a str,
-    tokens: &'a [Token],
+pub(crate) struct FileView<'a> {
+    pub(crate) src: &'a str,
+    pub(crate) tokens: &'a [Token],
     /// Indices into `tokens` of non-comment tokens (sequence matching
     /// skips comments so an interleaved comment can't break a match).
-    code: Vec<usize>,
-    crate_name: String,
-    rel_path: String,
+    pub(crate) code: Vec<usize>,
+    pub(crate) crate_name: String,
+    pub(crate) rel_path: String,
     /// File lives under a `tests/` or `benches/` directory.
-    is_test_file: bool,
+    pub(crate) is_test_file: bool,
     /// `(start, end)` inclusive ranges over *code indices* covered by
     /// `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(usize, usize)>,
@@ -131,30 +152,30 @@ impl<'a> FileView<'a> {
     }
 
     /// Text of the code token at code-index `k` (empty past the end).
-    fn text(&self, k: usize) -> &str {
+    pub(crate) fn text(&self, k: usize) -> &str {
         match self.code.get(k) {
             Some(&i) => self.tokens[i].text(self.src),
             None => "",
         }
     }
 
-    fn kind(&self, k: usize) -> Option<TokenKind> {
+    pub(crate) fn kind(&self, k: usize) -> Option<TokenKind> {
         self.code.get(k).map(|&i| self.tokens[i].kind)
     }
 
-    fn line(&self, k: usize) -> u32 {
+    pub(crate) fn line(&self, k: usize) -> u32 {
         self.code.get(k).map_or(0, |&i| self.tokens[i].line)
     }
 
-    fn is_punct(&self, k: usize, b: u8) -> bool {
+    pub(crate) fn is_punct(&self, k: usize, b: u8) -> bool {
         self.kind(k) == Some(TokenKind::Punct(b))
     }
 
-    fn is_ident(&self, k: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, k: usize, name: &str) -> bool {
         self.kind(k) == Some(TokenKind::Ident) && self.text(k) == name
     }
 
-    fn in_test_region(&self, k: usize) -> bool {
+    pub(crate) fn in_test_region(&self, k: usize) -> bool {
         self.is_test_file
             || self
                 .test_regions

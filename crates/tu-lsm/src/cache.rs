@@ -18,7 +18,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 type Block = Arc<Vec<(Vec<u8>, Vec<u8>)>>;
 
@@ -73,11 +73,14 @@ impl BlockCache {
         let base = budget_bytes / n;
         let shards: Vec<Shard> = (0..n)
             .map(|i| Shard {
-                inner: Mutex::new(Inner {
-                    map: HashMap::new(),
-                    used: 0,
-                    tick: 0,
-                }),
+                inner: Mutex::new(
+                    &lockdep::LSM_CACHE_SHARD,
+                    Inner {
+                        map: HashMap::new(),
+                        used: 0,
+                        tick: 0,
+                    },
+                ),
                 budget: if i == 0 {
                     base + budget_bytes % n
                 } else {

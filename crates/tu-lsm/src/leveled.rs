@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use tu_cloud::StorageEnv;
 use tu_common::keys::encode_key;
@@ -101,11 +101,14 @@ impl LeveledTree {
         Ok(LeveledTree {
             env,
             mem: MemTableSet::new(),
-            levels: Mutex::new(levels),
+            levels: Mutex::new(&lockdep::LSM_LEVELED_LEVELS, levels),
             cache,
-            tables: Mutex::new(std::collections::HashMap::new()),
+            tables: Mutex::new(
+                &lockdep::LSM_LEVELED_TABLES,
+                std::collections::HashMap::new(),
+            ),
             next_seq: AtomicU64::new(1),
-            stats: Mutex::new(LeveledStats::default()),
+            stats: Mutex::new(&lockdep::LSM_LEVELED_STATS, LeveledStats::default()),
             opts,
         })
     }

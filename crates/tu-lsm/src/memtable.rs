@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use tu_common::lockdep::{self, Mutex, RwLock};
 
 /// A sorted in-memory write buffer. Last write wins per key.
 #[derive(Debug, Default)]
@@ -88,8 +88,8 @@ impl Default for MemTableSet {
 impl MemTableSet {
     pub fn new() -> Self {
         MemTableSet {
-            active: RwLock::new(MemTable::new()),
-            immutables: Mutex::new(Vec::new()),
+            active: RwLock::new(&lockdep::LSM_MEMTABLE_ACTIVE, MemTable::new()),
+            immutables: Mutex::new(&lockdep::LSM_MEMTABLE_IMM, Vec::new()),
         }
     }
 

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Mutex};
 
 use tu_cloud::StorageEnv;
 use tu_common::keys::{decode_id, decode_ts, encode_key};
@@ -267,16 +267,19 @@ impl TimeTree {
             flush_pool,
             cache,
             mem: MemTableSet::new(),
-            levels: Mutex::new(Levels {
-                l0: Vec::new(),
-                l1: Vec::new(),
-                l2: Vec::new(),
-                r1_ms: opts.l0_partition_ms,
-                r2_ms: opts.l2_partition_ms,
-            }),
+            levels: Mutex::new(
+                &lockdep::LSM_TREE_LEVELS,
+                Levels {
+                    l0: Vec::new(),
+                    l1: Vec::new(),
+                    l2: Vec::new(),
+                    r1_ms: opts.l0_partition_ms,
+                    r2_ms: opts.l2_partition_ms,
+                },
+            ),
             next_seq: AtomicU64::new(1),
-            stats: Mutex::new(TreeStats::default()),
-            tables: Mutex::new(std::collections::HashMap::new()),
+            stats: Mutex::new(&lockdep::LSM_TREE_STATS, TreeStats::default()),
+            tables: Mutex::new(&lockdep::LSM_TREE_TABLES, std::collections::HashMap::new()),
             seals: AtomicU64::new(0),
             flushed: AtomicU64::new(0),
             env,

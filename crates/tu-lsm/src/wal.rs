@@ -25,9 +25,9 @@
 //! returns immediately instead of parking, so background flushing never
 //! stalls the ingest workers.
 
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tu_common::lockdep::{self, Condvar, Mutex, MutexGuard};
 
 use tu_cloud::block::BlockStore;
 use tu_common::{Error, Result};
@@ -104,9 +104,8 @@ pub struct Wal {
     /// Buffered records waiting for the next append; batching keeps the
     /// per-sample logging cost off the insert path.
     pending: Mutex<PendingBuf>,
-    /// Group-commit wave state. `std::sync` rather than `parking_lot`
-    /// because followers need a [`Condvar`] to park on.
-    commit: StdMutex<CommitState>,
+    /// Group-commit wave state, with the [`Condvar`] followers park on.
+    commit: Mutex<CommitState>,
     wave_done: Condvar,
     obs_appends: tu_obs::TracedCounter,
     obs_flushed_bytes: tu_obs::TracedCounter,
@@ -121,8 +120,8 @@ impl Wal {
         Wal {
             store,
             name: name.into(),
-            pending: Mutex::new(PendingBuf::default()),
-            commit: StdMutex::new(CommitState::default()),
+            pending: Mutex::new(&lockdep::LSM_WAL_PENDING, PendingBuf::default()),
+            commit: Mutex::new(&lockdep::LSM_WAL_COMMIT, CommitState::default()),
             wave_done: Condvar::new(),
             obs_appends: tu_obs::traced("lsm.wal.append_records"),
             obs_flushed_bytes: tu_obs::traced("lsm.wal.flushed_bytes"),
@@ -145,11 +144,11 @@ impl Wal {
         pending.ticket
     }
 
-    /// A poisoned commit mutex only means another thread panicked while
-    /// holding it; the state itself (three plain integers) is always
-    /// coherent, so recover the guard rather than propagating the panic.
-    fn lock_commit(&self) -> std::sync::MutexGuard<'_, CommitState> {
-        self.commit.lock().unwrap_or_else(|e| e.into_inner())
+    /// The wave-state guard; poisoning is swallowed by the lockdep
+    /// wrapper (the state itself, three plain integers, is always
+    /// coherent), so this is now just a named acquisition point.
+    fn lock_commit(&self) -> MutexGuard<'_, CommitState> {
+        self.commit.lock()
     }
 
     /// Runs one group-commit wave: swaps out everything queued so far,
@@ -205,10 +204,7 @@ impl Wal {
                 return Ok(());
             }
             if commit.leader {
-                commit = self
-                    .wave_done
-                    .wait(commit)
-                    .unwrap_or_else(|e| e.into_inner());
+                commit = self.wave_done.wait(commit);
                 continue;
             }
             commit.leader = true;
@@ -246,10 +242,7 @@ impl Wal {
     fn claim_leadership(&self) {
         let mut commit = self.lock_commit();
         while commit.leader {
-            commit = self
-                .wave_done
-                .wait(commit)
-                .unwrap_or_else(|e| e.into_inner());
+            commit = self.wave_done.wait(commit);
         }
         commit.leader = true;
     }

@@ -10,7 +10,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::lockdep::{self, Mutex};
 use std::time::Instant;
 
 use crate::registry::Gauge;
@@ -86,12 +88,15 @@ pub fn flight() -> &'static FlightRecorder {
     GLOBAL.get_or_init(|| FlightRecorder {
         enabled: AtomicBool::new(false),
         seq: AtomicU64::new(0),
-        ring: Mutex::new(Ring {
-            buf: VecDeque::new(),
-            capacity: 0,
-            dropped: 0,
-            epoch: None,
-        }),
+        ring: Mutex::new(
+            &lockdep::OBS_FLIGHT_RING,
+            Ring {
+                buf: VecDeque::new(),
+                capacity: 0,
+                dropped: 0,
+                epoch: None,
+            },
+        ),
         dropped_gauge: crate::gauge("obs.flight.dropped_events"),
     })
 }
@@ -110,7 +115,7 @@ impl FlightRecorder {
     /// clearing anything from a previous enablement and restarting the
     /// event clock.
     pub fn enable(&self, capacity: usize) {
-        let mut ring = self.ring.lock().expect("flight ring");
+        let mut ring = self.ring.lock();
         ring.buf.clear();
         ring.capacity = capacity.max(16);
         ring.dropped = 0;
@@ -159,7 +164,7 @@ impl FlightRecorder {
         let (trace_id, op) = crate::trace::current_id_op().unwrap_or((0, String::new()));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let tid = tid();
-        let mut ring = self.ring.lock().expect("flight ring");
+        let mut ring = self.ring.lock();
         let Some(epoch) = ring.epoch else { return };
         let at = start.unwrap_or_else(Instant::now);
         let ts_us = at.saturating_duration_since(epoch).as_micros() as u64;
@@ -182,18 +187,18 @@ impl FlightRecorder {
 
     /// Removes and returns every buffered event, oldest first.
     pub fn drain(&self) -> Vec<FlightEvent> {
-        let mut ring = self.ring.lock().expect("flight ring");
+        let mut ring = self.ring.lock();
         ring.buf.drain(..).collect()
     }
 
     /// Number of events overwritten since enable (ring overflow).
     pub fn dropped(&self) -> u64 {
-        self.ring.lock().expect("flight ring").dropped
+        self.ring.lock().dropped
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.ring.lock().expect("flight ring").buf.len()
+        self.ring.lock().buf.len()
     }
 
     /// True when no events are buffered.
@@ -204,7 +209,7 @@ impl FlightRecorder {
 
 /// Serializes tests (across modules) that mutate the global recorder.
 #[cfg(test)]
-pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {

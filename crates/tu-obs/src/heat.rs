@@ -20,7 +20,9 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::{self, Mutex, RwLock};
 
 /// Storage tier names, in the order of the per-tier arrays below.
 pub const HEAT_TIERS: [&str; 2] = ["block", "object"];
@@ -110,8 +112,8 @@ struct HeatMap {
 fn map() -> &'static HeatMap {
     static MAP: OnceLock<HeatMap> = OnceLock::new();
     MAP.get_or_init(|| HeatMap {
-        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-        unattributed: Mutex::new(Cell2::default()),
+        shards: std::array::from_fn(|_| Mutex::new(&lockdep::OBS_HEAT_SHARD, HashMap::new())),
+        unattributed: Mutex::new(&lockdep::OBS_HEAT_UNATTRIBUTED, Cell2::default()),
     })
 }
 
@@ -119,23 +121,19 @@ type NowFn = Arc<dyn Fn() -> i64 + Send + Sync>;
 
 fn clock_slot() -> &'static RwLock<Option<NowFn>> {
     static CLOCK: OnceLock<RwLock<Option<NowFn>>> = OnceLock::new();
-    CLOCK.get_or_init(|| RwLock::new(None))
+    CLOCK.get_or_init(|| RwLock::new(&lockdep::OBS_HEAT_CLOCK, None))
 }
 
 /// Installs the clock heat timestamps and decay windows run on. The engine
 /// installs its (possibly simulated) clock at open; without one, process
 /// uptime is used.
 pub fn install_clock(now_ms: NowFn) {
-    if let Ok(mut slot) = clock_slot().write() {
-        *slot = Some(now_ms);
-    }
+    *clock_slot().write() = Some(now_ms);
 }
 
 fn now_ms() -> i64 {
-    if let Ok(slot) = clock_slot().read() {
-        if let Some(f) = slot.as_ref() {
-            return f();
-        }
+    if let Some(f) = clock_slot().read().as_ref() {
+        return f();
     }
     crate::monitor::process_now_ms()
 }
@@ -200,10 +198,7 @@ fn with_cell(tier: &str, f: impl FnOnce(&mut TierHeat, i64)) -> bool {
     match key {
         Some(key) => {
             let m = map();
-            let mut shard = match m.shards[shard_of(&key)].lock() {
-                Ok(s) => s,
-                Err(p) => p.into_inner(),
-            };
+            let mut shard = m.shards[shard_of(&key)].lock();
             let cell = &mut shard.entry(key).or_default().tiers[ti];
             let before = cell.requests();
             f(cell, at);
@@ -211,10 +206,7 @@ fn with_cell(tier: &str, f: impl FnOnce(&mut TierHeat, i64)) -> bool {
             true
         }
         None => {
-            let mut cell2 = match map().unattributed.lock() {
-                Ok(c) => c,
-                Err(p) => p.into_inner(),
-            };
+            let mut cell2 = map().unattributed.lock();
             let cell = &mut cell2.tiers[ti];
             let before = cell.requests();
             f(cell, at);
@@ -309,10 +301,7 @@ pub fn snapshot() -> HeatSnapshot {
     let m = map();
     let mut partitions = Vec::new();
     for shard in &m.shards {
-        let shard = match shard.lock() {
-            Ok(s) => s,
-            Err(p) => p.into_inner(),
-        };
+        let shard = shard.lock();
         for (key, cell) in shard.iter() {
             partitions.push(PartitionHeat {
                 key: *key,
@@ -321,10 +310,7 @@ pub fn snapshot() -> HeatSnapshot {
         }
     }
     partitions.sort_by_key(|p| (p.key.start_ms, p.key.end_ms));
-    let un = match m.unattributed.lock() {
-        Ok(c) => *c,
-        Err(p) => *p.into_inner(),
-    };
+    let un = *m.unattributed.lock();
     HeatSnapshot {
         at_ms: at,
         partitions,
@@ -338,15 +324,9 @@ pub fn snapshot() -> HeatSnapshot {
 pub fn reset() {
     let m = map();
     for shard in &m.shards {
-        match shard.lock() {
-            Ok(mut s) => s.clear(),
-            Err(p) => p.into_inner().clear(),
-        }
+        shard.lock().clear();
     }
-    match m.unattributed.lock() {
-        Ok(mut c) => *c = Cell2::default(),
-        Err(p) => *p.into_inner() = Cell2::default(),
-    }
+    *m.unattributed.lock() = Cell2::default();
 }
 
 #[cfg(test)]
@@ -355,7 +335,7 @@ mod tests {
     use std::sync::atomic::{AtomicI64, Ordering};
 
     /// Serializes tests in this module: the heat map is process-global.
-    static LOCK: Mutex<()> = Mutex::new(());
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn manual_clock() -> Arc<AtomicI64> {
         let t = Arc::new(AtomicI64::new(1_000));

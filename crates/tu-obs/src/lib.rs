@@ -70,6 +70,7 @@ mod export;
 mod flight;
 pub mod health;
 pub mod heat;
+pub mod lockdep;
 pub mod log;
 mod monitor;
 mod registry;

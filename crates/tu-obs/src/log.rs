@@ -35,7 +35,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::{self, Mutex};
 
 use crate::registry::Counter;
 use crate::snapshot::escape;
@@ -216,13 +218,16 @@ pub fn log() -> &'static EventLog {
         };
         EventLog {
             min_level: AtomicU8::new(level.map_or(LEVEL_OFF, |l| l as u8)),
-            inner: Mutex::new(LogInner {
-                sink,
-                windows: HashMap::new(),
-                max_per_window: 32,
-                window_ms: 1_000,
-                now_ms: Arc::new(process_ms),
-            }),
+            inner: Mutex::new(
+                &lockdep::OBS_LOG_INNER,
+                LogInner {
+                    sink,
+                    windows: HashMap::new(),
+                    max_per_window: 32,
+                    window_ms: 1_000,
+                    now_ms: Arc::new(process_ms),
+                },
+            ),
             emitted: crate::counter("obs.log.emitted"),
             suppressed: crate::counter("obs.log.suppressed"),
         }
@@ -298,10 +303,11 @@ impl EventLog {
         self.lock_inner().now_ms = now_ms;
     }
 
-    fn lock_inner(&self) -> std::sync::MutexGuard<'_, LogInner> {
-        // A panic while holding the short critical section below cannot
-        // leave the state inconsistent; recover the guard.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_inner(&self) -> lockdep::MutexGuard<'_, LogInner> {
+        // Poison recovery now lives in the lockdep wrapper; a panic while
+        // holding the short critical sections below cannot leave the
+        // state inconsistent.
+        self.inner.lock()
     }
 
     /// Emits one event. Prefer the level shorthands ([`info`], [`warn`],

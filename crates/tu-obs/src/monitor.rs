@@ -19,7 +19,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::{self, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -209,28 +211,28 @@ pub(crate) fn process_now_ms() -> i64 {
 impl Monitor {
     pub fn new(opts: MonitorOptions) -> Monitor {
         Monitor {
-            ring: Mutex::new(VecDeque::new()),
+            ring: Mutex::new(&lockdep::OBS_MONITOR_RING, VecDeque::new()),
             capacity: opts.capacity.max(2),
             interval: opts.interval.max(Duration::from_millis(10)),
             now_ms: opts.now_ms.unwrap_or_else(|| Arc::new(process_now_ms)),
-            sampler: Mutex::new(None),
-            state: Arc::new((Mutex::new(SamplerState { stop: false }), Condvar::new())),
+            sampler: Mutex::new(&lockdep::OBS_MONITOR_SAMPLER, None),
+            state: Arc::new((
+                Mutex::new(&lockdep::OBS_MONITOR_STATE, SamplerState { stop: false }),
+                Condvar::new(),
+            )),
             running: AtomicBool::new(false),
-            observers: Mutex::new(Vec::new()),
+            observers: Mutex::new(&lockdep::OBS_MONITOR_OBSERVERS, Vec::new()),
         }
     }
 
     /// Registers a callback invoked with every future sample (manual or
     /// background). Observers run on the sampling thread; keep them cheap.
     pub fn add_observer(&self, obs: SampleObserver) {
-        self.observers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(obs);
+        self.observers.lock().push(obs);
     }
 
-    fn lock_ring(&self) -> std::sync::MutexGuard<'_, VecDeque<(i64, MetricsSnapshot)>> {
-        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_ring(&self) -> lockdep::MutexGuard<'_, VecDeque<(i64, MetricsSnapshot)>> {
+        self.ring.lock()
     }
 
     /// Takes one timestamped snapshot of the global registry now,
@@ -239,7 +241,7 @@ impl Monitor {
         let at = (self.now_ms)();
         let snap = crate::global().snapshot();
         {
-            let observers = self.observers.lock().unwrap_or_else(|e| e.into_inner());
+            let observers = self.observers.lock();
             for obs in observers.iter() {
                 obs(at, &snap);
             }
@@ -325,7 +327,7 @@ impl Monitor {
         }
         {
             let (lock, _) = &*self.state;
-            lock.lock().unwrap_or_else(|e| e.into_inner()).stop = false;
+            lock.lock().stop = false;
         }
         let me = Arc::clone(self);
         let handle = thread::Builder::new()
@@ -333,11 +335,9 @@ impl Monitor {
             .spawn(move || loop {
                 me.sample();
                 let (lock, cvar) = &*me.state;
-                let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+                let mut st = lock.lock();
                 while !st.stop {
-                    let (next, timeout) = cvar
-                        .wait_timeout(st, me.interval)
-                        .unwrap_or_else(|e| e.into_inner());
+                    let (next, timeout) = cvar.wait_timeout(st, me.interval);
                     st = next;
                     if timeout.timed_out() {
                         break;
@@ -349,7 +349,7 @@ impl Monitor {
             });
         match handle {
             Ok(h) => {
-                *self.sampler.lock().unwrap_or_else(|e| e.into_inner()) = Some(h);
+                *self.sampler.lock() = Some(h);
             }
             Err(_) => {
                 // Spawn failure (resource exhaustion): fall back to
@@ -367,15 +367,10 @@ impl Monitor {
         }
         {
             let (lock, cvar) = &*self.state;
-            lock.lock().unwrap_or_else(|e| e.into_inner()).stop = true;
+            lock.lock().stop = true;
             cvar.notify_all();
         }
-        if let Some(h) = self
-            .sampler
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-        {
+        if let Some(h) = self.sampler.lock().take() {
             let _ = h.join();
         }
     }
@@ -509,7 +504,7 @@ mod tests {
             now_ms: Some(now),
             ..Default::default()
         });
-        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
         let sink = seen.clone();
         m.add_observer(Arc::new(move |at, snap| {
             sink.lock()

@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
+
+use crate::lockdep::{self, RwLock};
 
 use crate::snapshot::MetricsSnapshot;
 
@@ -206,9 +208,16 @@ enum Metric {
 /// first use and hand back a `&'static` the caller can cache; after that
 /// the hot path is purely atomic. The interior `RwLock` is taken only to
 /// register or snapshot.
-#[derive(Default)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            metrics: RwLock::new(&lockdep::OBS_REGISTRY, BTreeMap::new()),
+        }
+    }
 }
 
 /// The process-wide registry behind [`crate::global`].
@@ -226,10 +235,10 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        if let Some(Metric::Counter(c)) = self.metrics.read().expect("registry").get(name) {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
             return c;
         }
-        let mut metrics = self.metrics.write().expect("registry");
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
@@ -241,10 +250,10 @@ impl Registry {
 
     /// The gauge named `name`, registering it on first use.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
-        if let Some(Metric::Gauge(g)) = self.metrics.read().expect("registry").get(name) {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
             return g;
         }
-        let mut metrics = self.metrics.write().expect("registry");
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
@@ -256,10 +265,10 @@ impl Registry {
 
     /// The histogram named `name`, registering it on first use.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
-        if let Some(Metric::Histogram(h)) = self.metrics.read().expect("registry").get(name) {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
             return h;
         }
-        let mut metrics = self.metrics.write().expect("registry");
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
@@ -271,7 +280,7 @@ impl Registry {
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let metrics = self.metrics.read().expect("registry");
+        let metrics = self.metrics.read();
         let mut counters = BTreeMap::new();
         let mut gauges = BTreeMap::new();
         let mut histograms = BTreeMap::new();
@@ -304,7 +313,7 @@ impl Registry {
     /// zeroing them would report a stale zero until the owner happened to
     /// republish. [`MetricsSnapshot::since`] treats gauges the same way.
     pub fn reset(&self) {
-        let metrics = self.metrics.read().expect("registry");
+        let metrics = self.metrics.read();
         for metric in metrics.values() {
             match metric {
                 Metric::Counter(c) => c.reset(),

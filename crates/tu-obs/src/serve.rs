@@ -26,7 +26,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
+
+use crate::lockdep::{self, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -119,7 +121,7 @@ impl ObsServer {
         });
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::new(&lockdep::OBS_SERVE_RX, rx));
         let mut threads = Vec::with_capacity(WORKERS + 1);
         for i in 0..WORKERS {
             let rx = Arc::clone(&rx);
@@ -130,7 +132,7 @@ impl ObsServer {
                     .spawn(move || loop {
                         // Hold the receiver lock only while waiting for a
                         // connection, not while serving it.
-                        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        let conn = rx.lock().recv();
                         match conn {
                             Ok(stream) => handle_connection(stream, &shared),
                             Err(_) => return, // accept loop hung up
@@ -161,7 +163,7 @@ impl ObsServer {
         Ok(ObsServer {
             local_addr,
             shutdown,
-            threads: Mutex::new(threads),
+            threads: Mutex::new(&lockdep::OBS_SERVE_THREADS, threads),
         })
     }
 
@@ -179,7 +181,7 @@ impl ObsServer {
         // The accept loop blocks in `incoming()`; a throwaway loopback
         // connection wakes it so it can observe the flag and exit.
         let _ = TcpStream::connect(self.local_addr);
-        let threads = std::mem::take(&mut *self.threads.lock().unwrap_or_else(|e| e.into_inner()));
+        let threads = std::mem::take(&mut *self.threads.lock());
         for t in threads {
             let _ = t.join();
         }
@@ -389,7 +391,7 @@ mod tests {
     #[test]
     fn serves_every_endpoint() {
         crate::counter("servetest.requests").add(3);
-        let health = Arc::new(Mutex::new(HealthReport::ok()));
+        let health = Arc::new(std::sync::Mutex::new(HealthReport::ok()));
         let h = Arc::clone(&health);
         let server = ObsServer::bind(
             "127.0.0.1:0",

@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::{self, Mutex};
 
 use crate::registry::Counter;
 
@@ -69,8 +71,8 @@ impl TraceContext {
         let inner = Arc::new(ContextInner {
             id: next_trace_id(),
             op: op.into(),
-            counters: Mutex::new(BTreeMap::new()),
-            spans: Mutex::new(BTreeMap::new()),
+            counters: Mutex::new(&lockdep::OBS_TRACE_COUNTERS, BTreeMap::new()),
+            spans: Mutex::new(&lockdep::OBS_TRACE_SPANS, BTreeMap::new()),
         });
         CURRENT.with(|cur| cur.borrow_mut().push(inner.clone()));
         TraceContext {
@@ -103,11 +105,10 @@ impl TraceContext {
         let counters = inner
             .counters
             .lock()
-            .expect("trace counters")
             .iter()
             .map(|(&k, &v)| (k.to_string(), v))
             .collect();
-        let spans = inner.spans.lock().expect("trace spans").clone();
+        let spans = inner.spans.lock().clone();
         TraceSummary {
             id: inner.id,
             op: inner.op.clone(),
@@ -215,11 +216,7 @@ pub(crate) fn charge(name: &'static str, n: u64) {
     CURRENT.with(|cur| {
         let stack = cur.borrow();
         for ctx in stack.iter() {
-            *ctx.counters
-                .lock()
-                .expect("trace counters")
-                .entry(name)
-                .or_insert(0) += n;
+            *ctx.counters.lock().entry(name).or_insert(0) += n;
         }
     });
 }
@@ -229,7 +226,7 @@ pub(crate) fn charge_span(name: &str, ns: u64) {
     CURRENT.with(|cur| {
         let stack = cur.borrow();
         for ctx in stack.iter() {
-            let mut spans = ctx.spans.lock().expect("trace spans");
+            let mut spans = ctx.spans.lock();
             let d = spans.entry(name.to_string()).or_default();
             d.count += 1;
             d.total_ns += ns;
@@ -241,8 +238,8 @@ pub(crate) fn charge_span(name: &str, ns: u64) {
 /// per-call [`traced`] lookups on hot paths never accumulate allocations.
 fn intern(name: &str) -> &'static str {
     static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
-    let map = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut map = map.lock().expect("intern table");
+    let map = INTERNED.get_or_init(|| Mutex::new(&lockdep::OBS_TRACE_COUNTERS, BTreeMap::new()));
+    let mut map = map.lock();
     if let Some(&s) = map.get(name) {
         return s;
     }
