@@ -1,0 +1,259 @@
+//! Self-monitoring overhead benchmark: the same TSBS DevOps sample stream
+//! batched through `TimeUnion::put_batch`, once bare and once with a
+//! `SelfMonitor` ticking against the live registry, reported as
+//! `BENCH_selfmon_overhead.json`.
+//!
+//! ```text
+//! cargo run -p tu-bench --release --bin selfmon_overhead [-- --quick] [--out PATH]
+//! ```
+//!
+//! The monitor is driven at the production cadence of one vitals sample
+//! per second. Each tick snapshots the whole registry,
+//! converts it into samples (counters, gauges, histogram buckets), and
+//! ingests them into the embedded telemetry engine, whose own storage
+//! traffic is diverted by the recursion guard rather than charged to the
+//! primary counters. Configurations are interleaved and the minimum wall
+//! time per configuration is compared, which strips scheduler noise from
+//! the difference.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tu_cloud::cost::LatencyMode;
+use tu_cloud::ledger::CostLedger;
+use tu_common::clock::system_clock;
+use tu_common::Result;
+use tu_core::engine::{Options, TimeUnion};
+use tu_core::selfmon::{SelfMonitor, SelfmonOptions};
+use tu_lsm::TreeOptions;
+use tu_tsbs::devops::{DevOpsGenerator, DevOpsOptions};
+
+/// Self-monitoring tick cadence — the production vitals default.
+const TICK_MS: u64 = 1_000;
+
+/// Samples per `put_batch` call (per series: `BATCH_STEPS` consecutive
+/// generator steps, all series in one batch).
+const BATCH_STEPS: usize = 40;
+
+/// Interleaved repetitions per configuration; the minimum wall time wins.
+const ITERS: usize = 5;
+
+struct Run {
+    wall_ms: f64,
+    samples: usize,
+    ticks: u64,
+    diverted_requests: u64,
+    diverted_bytes: u64,
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("selfmon_overhead failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_selfmon_overhead.json")
+        .to_string();
+
+    let hosts = 6usize;
+    let minutes: i64 = if quick { 12 } else { 360 };
+    let interval_s: i64 = 10;
+    let gen = DevOpsGenerator::new(DevOpsOptions {
+        hosts,
+        interval_ms: interval_s * 1000,
+        duration_ms: minutes * 60_000,
+        ..DevOpsOptions::default()
+    });
+    let metrics = gen.metric_names().len();
+
+    // Unmeasured warmup: the first run of the process pays allocator and
+    // page-cache cold-start costs that would otherwise bias whichever
+    // configuration happens to go first.
+    let warmup = DevOpsGenerator::new(DevOpsOptions {
+        hosts,
+        interval_ms: interval_s * 1000,
+        duration_ms: 12 * 60_000,
+        ..DevOpsOptions::default()
+    });
+    run_once(&warmup, false).map(drop)?;
+
+    let mut off: Vec<Run> = Vec::new();
+    let mut on: Vec<Run> = Vec::new();
+    for iter in 0..ITERS {
+        // Alternate which configuration leads so residual warmth from the
+        // preceding run cancels out across the sweep.
+        let order = if iter % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for selfmon in order {
+            let r = run_once(&gen, selfmon)?;
+            eprintln!(
+                "iter={iter} selfmon={selfmon}: {:.0}ms for {} samples ({:.0} samples/s, {} ticks)",
+                r.wall_ms,
+                r.samples,
+                r.samples as f64 / (r.wall_ms / 1e3),
+                r.ticks
+            );
+            if selfmon {
+                on.push(r)
+            } else {
+                off.push(r)
+            }
+        }
+    }
+
+    let best =
+        |runs: &[Run]| -> f64 { runs.iter().map(|r| r.wall_ms).fold(f64::INFINITY, f64::min) };
+    let off_ms = best(&off);
+    let on_ms = best(&on);
+    let overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    let ticks: u64 = on.iter().map(|r| r.ticks).sum();
+    let diverted_requests: u64 = on.iter().map(|r| r.diverted_requests).sum();
+    let diverted_bytes: u64 = on.iter().map(|r| r.diverted_bytes).sum();
+
+    let fmt_runs = |runs: &[Run]| -> String {
+        runs.iter()
+            .map(|r| format!("{:.1}", r.wall_ms))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"selfmon_overhead\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"hosts\": {hosts}, \"metrics_per_host\": {metrics}, \"interval_s\": {interval_s}, \"minutes\": {minutes}, \"total_samples\": {}, \"batch_steps\": {BATCH_STEPS}}},\n",
+        gen.total_samples()
+    ));
+    json.push_str(&format!(
+        "  \"tick_interval_ms\": {TICK_MS},\n  \"iters\": {ITERS},\n"
+    ));
+    json.push_str(&format!(
+        "  \"selfmon_off\": {{\"wall_ms\": [{}], \"best_ms\": {off_ms:.1}, \"samples_per_s\": {:.0}}},\n",
+        fmt_runs(&off),
+        off[0].samples as f64 / (off_ms / 1e3)
+    ));
+    json.push_str(&format!(
+        "  \"selfmon_on\": {{\"wall_ms\": [{}], \"best_ms\": {on_ms:.1}, \"samples_per_s\": {:.0}, \"ticks\": {ticks}, \"diverted_requests\": {diverted_requests}, \"diverted_bytes\": {diverted_bytes}}},\n",
+        fmt_runs(&on),
+        on[0].samples as f64 / (on_ms / 1e3)
+    ));
+    json.push_str(&format!("  \"overhead_pct\": {overhead_pct:.2}\n}}\n"));
+    std::fs::write(&out_path, &json)?;
+
+    println!("{json}");
+    println!(
+        "self-monitoring ingest overhead: {overhead_pct:.2}% (at the production {TICK_MS} ms tick)"
+    );
+    println!("report written to {out_path}");
+    Ok(())
+}
+
+/// One fresh engine, the full generator stream batched; with `selfmon` a
+/// ticker thread feeds a `SelfMonitor` registry snapshots at `TICK_MS`.
+fn run_once(gen: &DevOpsGenerator, selfmon: bool) -> Result<Run> {
+    let dir = tempfile::tempdir()?;
+    let opts = Options {
+        chunk_samples: 32,
+        wal_batch_records: 64,
+        index_slots_per_segment: 1 << 16,
+        latency: LatencyMode::Off,
+        tree: TreeOptions {
+            // Keep the memtable out of the measured window so the runs
+            // isolate the WAL/ingest path; flushing runs after the timer.
+            memtable_bytes: 64 << 20,
+            ..TreeOptions::default()
+        },
+        ..Options::default()
+    };
+    let db = TimeUnion::open(dir.path().join("tu"), opts)?;
+
+    let diverted0 = tu_obs::counter("obs.selfmon.diverted.requests").get();
+    let diverted_bytes0 = tu_obs::counter("obs.selfmon.diverted.bytes").get();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut ticks = 0u64;
+    let ticker = if selfmon {
+        let clock = system_clock();
+        let ledger = CostLedger::new(64);
+        let sm = SelfMonitor::open(
+            &dir.path().join("tu"),
+            clock.clone(),
+            ledger,
+            SelfmonOptions::default(),
+        )?;
+        let stop = Arc::clone(&stop);
+        Some(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = tu_obs::global().snapshot();
+                sm.record(clock.now_ms(), &snap);
+                n += 1;
+                std::thread::sleep(std::time::Duration::from_millis(TICK_MS));
+            }
+            n
+        }))
+    } else {
+        None
+    };
+
+    // Setup (unmeasured): create every series sequentially, seeding step 0.
+    let metrics = gen.metric_names().len();
+    let hosts = gen.options().hosts;
+    let mut ids: Vec<Vec<u64>> = Vec::new();
+    for host in 0..hosts {
+        let mut row = Vec::with_capacity(metrics);
+        for metric in 0..metrics {
+            row.push(db.put(
+                &gen.series_labels(host, metric),
+                gen.ts_of(0),
+                gen.value(host, metric, 0),
+            )?);
+        }
+        ids.push(row);
+    }
+    db.sync_wal()?;
+
+    // Measured: the remaining steps in multi-series batches.
+    let mut samples = 0usize;
+    let t = Instant::now();
+    let steps = gen.steps();
+    let mut step = 1i64;
+    while step < steps {
+        let upto = (step + BATCH_STEPS as i64).min(steps);
+        let mut batch = Vec::with_capacity((upto - step) as usize * hosts * metrics);
+        for (host, row) in ids.iter().enumerate() {
+            for (metric, id) in row.iter().enumerate() {
+                for s in step..upto {
+                    batch.push((*id, gen.ts_of(s), gen.value(host, metric, s)));
+                }
+            }
+        }
+        samples += batch.len();
+        db.put_batch(&batch)?;
+        step = upto;
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = ticker {
+        ticks = h.join().expect("ticker thread panicked");
+    }
+    db.flush_all()?;
+    Ok(Run {
+        wall_ms,
+        samples,
+        ticks,
+        diverted_requests: tu_obs::counter("obs.selfmon.diverted.requests").get() - diverted0,
+        diverted_bytes: tu_obs::counter("obs.selfmon.diverted.bytes").get() - diverted_bytes0,
+    })
+}

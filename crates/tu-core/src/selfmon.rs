@@ -1,0 +1,1109 @@
+//! Self-hosted telemetry: metrics history in an embedded TimeUnion.
+//!
+//! [`SelfMonitor`] rides the vitals [`tu_obs::Monitor`]'s sampling cadence
+//! as one more [`tu_obs::SampleObserver`]: every sample it converts the
+//! registry snapshot into timeseries samples — counters as cumulative
+//! series, gauges as levels, histograms as `.count`/`.sum` plus one
+//! series per non-empty bucket, the cost ledger's closed windows as
+//! per-tier dollar series, and the partition heat map as labeled heat
+//! cells — and ingests them through the ordinary `put`/`put_batch` path
+//! of a *second, embedded* TimeUnion instance rooted at
+//! `<primary_dir>/selfmon`, with a small memtable and aggressive
+//! retention.
+//!
+//! **Recursion guard.** The embedded engine is a full engine: its
+//! inserts charge storage tiers, traced counters, the heat map, and the
+//! flight recorder exactly like the primary's. Every entry into the self
+//! engine therefore runs under a [`tu_obs::selfmon`] scope, which the
+//! instrumentation choke points check: registry mutations become no-ops,
+//! trace/heat/flight charges are suppressed, and [`tu_cloud`] tier
+//! counters divert to `obs.selfmon.diverted.*`. The primary's counters,
+//! cost ledger, and heat map are byte-identical with self-monitoring on
+//! or off (pinned by `tests/selfmon.rs`).
+//!
+//! **Rules.** A small rule language drives derived series and alerts:
+//!
+//! ```text
+//! # recording rule: periodic aggregate re-ingested as a derived series
+//! record ingest_rate = rate(core.ingest.samples) over 60s step 10s
+//! # alert rule: threshold over a lookback window
+//! alert ingest_stall if rate(core.ingest.samples) over 120s < 1
+//! ```
+//!
+//! Alert firing/resolution is logged to the dedicated `alert` event-log
+//! target (its own rate-limit budget), surfaced at `/alerts`, and folded
+//! into the engine's [`tu_obs::HealthReport`] as degraded-reasons.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+use tu_cloud::cost::LatencyMode;
+use tu_common::clock::SharedClock;
+use tu_common::lockdep::{self, Mutex};
+use tu_common::{Error, Labels, Result, SeriesId, Timestamp, Value};
+use tu_compress::agg::AggKind;
+use tu_index::Selector;
+use tu_obs::MetricsSnapshot;
+
+use crate::engine::{Options, TimeUnion};
+
+/// Default retention of the embedded telemetry engine: one hour of
+/// metrics history is plenty for live debugging and keeps the self
+/// engine's footprint bounded.
+const DEFAULT_RETENTION_MS: i64 = 3_600_000;
+
+/// How often the self engine's retention sweep runs.
+const RETENTION_EVERY_MS: i64 = 60_000;
+
+/// Rate budget of the dedicated `alert` event-log target: alert
+/// transitions are rare and load-bearing, so they get their own window
+/// budget instead of competing with chatty operational targets.
+const ALERT_EVENTS_PER_WINDOW: u64 = 64;
+
+// --- configuration ---------------------------------------------------------------
+
+/// Self-monitoring configuration ([`Options::selfmon`]).
+#[derive(Clone)]
+pub struct SelfmonOptions {
+    /// Retention of the embedded metrics history.
+    pub retention_ms: i64,
+    /// Rule text ([`parse_rules`] syntax); empty means no rules.
+    pub rules: String,
+}
+
+impl Default for SelfmonOptions {
+    fn default() -> Self {
+        SelfmonOptions {
+            retention_ms: DEFAULT_RETENTION_MS,
+            rules: String::new(),
+        }
+    }
+}
+
+/// Resolves the effective self-monitoring configuration: `TU_SELFMON=0`
+/// forces it off, any other non-empty `TU_SELFMON` value forces it on
+/// (with defaults unless [`Options::selfmon`] is also set), otherwise the
+/// configured option decides. `TU_SELFMON_RULES` names a rule file that
+/// replaces the configured rule text.
+pub fn resolve(configured: &Option<SelfmonOptions>) -> Option<SelfmonOptions> {
+    let env = std::env::var("TU_SELFMON").ok().filter(|v| !v.is_empty());
+    let mut cfg = match env.as_deref() {
+        Some("0") => return None,
+        Some(_) => configured.clone().unwrap_or_default(),
+        None => configured.clone()?,
+    };
+    if let Ok(path) = std::env::var("TU_SELFMON_RULES") {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => cfg.rules = text,
+            Err(e) => tu_obs::log::warn(
+                "core.selfmon",
+                "failed to read TU_SELFMON_RULES file",
+                &[("path", path.into()), ("error", e.to_string().into())],
+            ),
+        }
+    }
+    Some(cfg)
+}
+
+// --- rule language ---------------------------------------------------------------
+
+/// Comparison operator of an alert predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Gt,
+    Lt,
+    Ge,
+    Le,
+}
+
+impl CmpOp {
+    fn parse(s: &str) -> Option<CmpOp> {
+        match s {
+            ">" => Some(CmpOp::Gt),
+            "<" => Some(CmpOp::Lt),
+            ">=" => Some(CmpOp::Ge),
+            "<=" => Some(CmpOp::Le),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+        }
+    }
+
+    fn eval(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            CmpOp::Gt => value > threshold,
+            CmpOp::Lt => value < threshold,
+            CmpOp::Ge => value >= threshold,
+            CmpOp::Le => value <= threshold,
+        }
+    }
+}
+
+/// The query half shared by both rule kinds:
+/// `<agg>(<metric>{k=v,...}) over <secs>s`.
+#[derive(Debug, Clone)]
+pub struct RuleQuery {
+    pub agg: AggKind,
+    pub metric: String,
+    pub matchers: Vec<(String, String)>,
+    /// Lookback window.
+    pub over_ms: i64,
+    /// Aggregation step (recording rules; alerts use one `over_ms` window).
+    pub step_ms: i64,
+}
+
+impl RuleQuery {
+    fn selectors(&self) -> Vec<Selector> {
+        let mut out = vec![Selector::exact("metric", self.metric.clone())];
+        for (k, v) in &self.matchers {
+            out.push(Selector::exact(k.clone(), v.clone()));
+        }
+        out
+    }
+
+    /// Canonical text form, e.g. `rate(core.ingest.samples{tier=block}) over 60s`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}({}", self.agg.name(), self.metric);
+        if !self.matchers.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.matchers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k}={v}"));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(") over {}s", self.over_ms / 1_000));
+        out
+    }
+}
+
+/// `record <name> = <query> step <secs>s` — periodically re-ingests the
+/// aggregate as a derived series named `<name>`.
+#[derive(Debug, Clone)]
+pub struct RecordingRule {
+    pub name: String,
+    pub query: RuleQuery,
+}
+
+/// `alert <name> if <query> <op> <value>` — fires while the aggregate of
+/// the lookback window violates the threshold.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    pub name: String,
+    pub query: RuleQuery,
+    pub op: CmpOp,
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    /// The full predicate text, e.g.
+    /// `rate(core.ingest.samples) over 120s < 1`.
+    pub fn predicate(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.query.render(),
+            self.op.as_str(),
+            fmt_f64(self.threshold)
+        )
+    }
+}
+
+/// A parsed rule file.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    pub records: Vec<RecordingRule>,
+    pub alerts: Vec<AlertRule>,
+}
+
+/// `"60s"` / `"5m"` → milliseconds.
+fn parse_duration_ms(tok: &str) -> Option<i64> {
+    let (num, mult) = if let Some(n) = tok.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = tok.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        return None;
+    };
+    let n: i64 = num.parse().ok()?;
+    (n > 0).then_some(n * mult)
+}
+
+/// `"avg(metric{k=v,k2=v2})"` → (agg, metric, matchers). No spaces inside
+/// the expression (lines are tokenized on whitespace).
+fn parse_source(tok: &str) -> Option<(AggKind, String, Vec<(String, String)>)> {
+    let open = tok.find('(')?;
+    let agg = AggKind::parse(&tok[..open])?;
+    let body = tok[open + 1..].strip_suffix(')')?;
+    let (metric, matchers) = match body.find('{') {
+        Some(brace) => {
+            let inner = body[brace + 1..].strip_suffix('}')?;
+            let mut pairs = Vec::new();
+            for part in inner.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = part.split_once('=')?;
+                pairs.push((k.to_string(), v.to_string()));
+            }
+            (&body[..brace], pairs)
+        }
+        None => (body, Vec::new()),
+    };
+    if metric.is_empty() {
+        return None;
+    }
+    Some((agg, metric.to_string(), matchers))
+}
+
+/// Parses rule text: one rule per line, `#` comments and blank lines
+/// skipped. Errors carry the offending line number.
+pub fn parse_rules(text: &str) -> Result<RuleSet> {
+    let mut out = RuleSet::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| {
+            Error::invalid(format!(
+                "selfmon rules line {}: {} in {:?}",
+                lineno + 1,
+                what,
+                line
+            ))
+        };
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("record") => {
+                let name = toks.next().ok_or_else(|| bad("missing rule name"))?;
+                if toks.next() != Some("=") {
+                    return Err(bad("expected `=`"));
+                }
+                let (agg, metric, matchers) = toks
+                    .next()
+                    .and_then(parse_source)
+                    .ok_or_else(|| bad("bad aggregate expression"))?;
+                if toks.next() != Some("over") {
+                    return Err(bad("expected `over`"));
+                }
+                let over_ms = toks
+                    .next()
+                    .and_then(parse_duration_ms)
+                    .ok_or_else(|| bad("bad lookback duration"))?;
+                if toks.next() != Some("step") {
+                    return Err(bad("expected `step`"));
+                }
+                let step_ms = toks
+                    .next()
+                    .and_then(parse_duration_ms)
+                    .ok_or_else(|| bad("bad step duration"))?;
+                if toks.next().is_some() {
+                    return Err(bad("trailing tokens"));
+                }
+                out.records.push(RecordingRule {
+                    name: name.to_string(),
+                    query: RuleQuery {
+                        agg,
+                        metric,
+                        matchers,
+                        over_ms,
+                        step_ms,
+                    },
+                });
+            }
+            Some("alert") => {
+                let name = toks.next().ok_or_else(|| bad("missing rule name"))?;
+                if toks.next() != Some("if") {
+                    return Err(bad("expected `if`"));
+                }
+                let (agg, metric, matchers) = toks
+                    .next()
+                    .and_then(parse_source)
+                    .ok_or_else(|| bad("bad aggregate expression"))?;
+                if toks.next() != Some("over") {
+                    return Err(bad("expected `over`"));
+                }
+                let over_ms = toks
+                    .next()
+                    .and_then(parse_duration_ms)
+                    .ok_or_else(|| bad("bad lookback duration"))?;
+                let op = toks
+                    .next()
+                    .and_then(CmpOp::parse)
+                    .ok_or_else(|| bad("bad comparison operator"))?;
+                let threshold: f64 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("bad threshold value"))?;
+                if toks.next().is_some() {
+                    return Err(bad("trailing tokens"));
+                }
+                out.alerts.push(AlertRule {
+                    name: name.to_string(),
+                    query: RuleQuery {
+                        agg,
+                        metric,
+                        matchers,
+                        over_ms,
+                        step_ms: over_ms,
+                    },
+                    op,
+                    threshold,
+                });
+            }
+            _ => return Err(bad("expected `record` or `alert`")),
+        }
+    }
+    Ok(out)
+}
+
+// --- alert state -----------------------------------------------------------------
+
+/// One currently-firing alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiringAlert {
+    pub name: String,
+    /// The rule's predicate text.
+    pub predicate: String,
+    /// Most recent observed value.
+    pub value: f64,
+    /// When the alert transitioned to firing.
+    pub since_ms: i64,
+}
+
+#[derive(Default)]
+struct AlertState {
+    firing: BTreeMap<String, FiringAlert>,
+}
+
+struct IngestState {
+    /// Label-set → series id cache: first sample of a label set goes
+    /// through the slow-path `put`, everything after through `put_batch`.
+    ids: HashMap<Vec<u8>, SeriesId>,
+    /// End of the newest cost-ledger window already ingested.
+    ledger_cursor_ms: i64,
+    /// Per recording rule: newest derived window start already ingested.
+    record_cursors: HashMap<String, i64>,
+    last_retention_ms: i64,
+}
+
+// --- the monitor -----------------------------------------------------------------
+
+/// The embedded self-monitoring engine (see the module docs).
+pub struct SelfMonitor {
+    engine: Arc<TimeUnion>,
+    ledger: Arc<tu_cloud::ledger::CostLedger>,
+    clock: SharedClock,
+    rules: RuleSet,
+    ingest: Mutex<IngestState>,
+    state: Mutex<AlertState>,
+    alerts_fired: tu_obs::TracedCounter,
+    alerts_resolved: tu_obs::TracedCounter,
+}
+
+impl SelfMonitor {
+    /// Opens the embedded telemetry engine at `<primary_dir>/selfmon`.
+    /// Runs under a selfmon scope so the embedded engine's own recovery
+    /// I/O never pollutes the primary's counters. The `ledger` is the
+    /// primary's cost ledger; its observer must be registered *before*
+    /// this monitor's so each sample's billing window closes first.
+    pub fn open(
+        primary_dir: &Path,
+        clock: SharedClock,
+        ledger: Arc<tu_cloud::ledger::CostLedger>,
+        cfg: SelfmonOptions,
+    ) -> Result<Arc<SelfMonitor>> {
+        let rules = parse_rules(&cfg.rules)?;
+        let _scope = tu_obs::selfmon::enter();
+        let opts = Options {
+            chunk_samples: 32,
+            page_cache_bytes: 4 << 20,
+            arena_chunks_per_file: 1 << 10,
+            retention_ms: Some(cfg.retention_ms.max(RETENTION_EVERY_MS)),
+            wal_batch_records: 64,
+            wal_purge_bytes: 4 << 20,
+            latency: LatencyMode::Off,
+            inline_maintenance: true,
+            clock: clock.clone(),
+            query_threads: 1,
+            ingest_threads: 1,
+            ..Options::default()
+        };
+        let engine = Arc::new(TimeUnion::open(primary_dir.join("selfmon"), opts)?);
+        // The env knobs (`TU_*_THREADS`) win inside `open`; pin the self
+        // engine back to single-threaded — telemetry volume never needs
+        // fan-out, and narrow pools keep its footprint predictable.
+        engine.set_query_threads(1);
+        engine.set_ingest_threads(1);
+        tu_obs::log::log().set_target_rate_limit("alert", Some(ALERT_EVENTS_PER_WINDOW));
+        Ok(Arc::new(SelfMonitor {
+            engine,
+            ledger,
+            clock,
+            rules,
+            ingest: Mutex::new(
+                &lockdep::CORE_SELFMON_INGEST,
+                IngestState {
+                    ids: HashMap::new(),
+                    ledger_cursor_ms: i64::MIN,
+                    record_cursors: HashMap::new(),
+                    last_retention_ms: i64::MIN,
+                },
+            ),
+            state: Mutex::new(&lockdep::CORE_SELFMON_STATE, AlertState::default()),
+            alerts_fired: tu_obs::traced("core.selfmon.alerts.fired"),
+            alerts_resolved: tu_obs::traced("core.selfmon.alerts.resolved"),
+        }))
+    }
+
+    /// The embedded engine (tests and endpoints).
+    pub fn engine(&self) -> &Arc<TimeUnion> {
+        &self.engine
+    }
+
+    /// The parsed rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// A [`tu_obs::SampleObserver`] feeding this monitor from the vitals
+    /// sampler's cadence.
+    pub fn observer(self: &Arc<Self>) -> tu_obs::SampleObserver {
+        let sm = Arc::clone(self);
+        Arc::new(move |at_ms, snap| sm.record(at_ms, snap))
+    }
+
+    /// One self-monitoring tick: ingests the snapshot as samples, then
+    /// evaluates rules. Tests drive this directly with synthetic clocks.
+    pub fn record(&self, at_ms: i64, snap: &MetricsSnapshot) {
+        if tu_obs::selfmon::active() {
+            return; // re-entrancy backstop: never observe ourselves
+        }
+        if let Err(e) = self.record_inner(at_ms, snap) {
+            tu_obs::log::warn(
+                "core.selfmon",
+                "self-monitor sample failed",
+                &[("error", e.to_string().into())],
+            );
+        }
+        self.evaluate_rules(at_ms);
+    }
+
+    fn record_inner(&self, at_ms: i64, snap: &MetricsSnapshot) -> Result<()> {
+        let mut st = self.ingest.lock();
+        let _scope = tu_obs::selfmon::enter();
+        let mut rows: Vec<(Labels, Timestamp, Value)> = Vec::new();
+        // Counters are cumulative series (rate() recovers per-second
+        // flows); gauges are levels.
+        for (name, &v) in &snap.counters {
+            rows.push((metric_labels(name), at_ms, v as f64));
+        }
+        for (name, &v) in &snap.gauges {
+            rows.push((metric_labels(name), at_ms, v as f64));
+        }
+        // Histograms: cumulative count/sum plus one series per non-empty
+        // bucket, labeled with the bucket's inclusive upper bound.
+        for (name, h) in &snap.histograms {
+            rows.push((
+                metric_labels(&format!("{name}.count")),
+                at_ms,
+                h.count as f64,
+            ));
+            rows.push((metric_labels(&format!("{name}.sum")), at_ms, h.sum as f64));
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let le = if i + 1 == tu_obs::BUCKETS {
+                    "+Inf".to_string()
+                } else {
+                    tu_obs::bucket_upper_bound(i).to_string()
+                };
+                rows.push((
+                    Labels::from_pairs([("metric", format!("{name}.bucket")), ("le", le)]),
+                    at_ms,
+                    c as f64,
+                ));
+            }
+        }
+        // Cost-ledger windows closed since the last tick, as per-tier
+        // dollar series stamped at window end. The ledger's observer runs
+        // before ours on the same sample, so the window ending at `at_ms`
+        // is already visible here.
+        for w in self.ledger.windows() {
+            if w.end_ms <= st.ledger_cursor_ms {
+                continue;
+            }
+            for t in &w.tiers {
+                let tier_labels =
+                    |metric: &str| Labels::from_pairs([("metric", metric), ("tier", t.tier)]);
+                rows.push((
+                    tier_labels("cost.window.request_usd"),
+                    w.end_ms,
+                    t.request_usd,
+                ));
+                rows.push((
+                    tier_labels("cost.window.storage_usd"),
+                    w.end_ms,
+                    t.storage_usd,
+                ));
+                rows.push((
+                    tier_labels("cost.window.total_usd"),
+                    w.end_ms,
+                    t.total_usd(),
+                ));
+            }
+            st.ledger_cursor_ms = w.end_ms;
+        }
+        // Partition heat cells: cumulative request/byte totals per
+        // (partition, tier), labeled by the partition's time range.
+        let heat = tu_obs::heat::snapshot();
+        for p in &heat.partitions {
+            let part = format!("{}-{}", p.key.start_ms, p.key.end_ms);
+            for (ti, tier) in tu_obs::heat::HEAT_TIERS.iter().enumerate() {
+                let th = &p.tiers[ti];
+                let bytes = th.bytes_read + th.bytes_written;
+                if th.requests() == 0 && bytes == 0 {
+                    continue;
+                }
+                let cell = |metric: &str| {
+                    Labels::from_pairs([
+                        ("metric", metric),
+                        ("partition", part.as_str()),
+                        ("tier", tier),
+                    ])
+                };
+                rows.push((cell("heat.requests"), at_ms, th.requests() as f64));
+                rows.push((cell("heat.bytes"), at_ms, bytes as f64));
+            }
+        }
+        let n = self.ingest_rows(&mut st, rows)?;
+        if st.last_retention_ms == i64::MIN || at_ms - st.last_retention_ms >= RETENTION_EVERY_MS {
+            st.last_retention_ms = at_ms;
+            self.engine.apply_retention()?;
+        }
+        drop(st);
+        drop(_scope);
+        tu_obs::selfmon::note_sample(n);
+        Ok(())
+    }
+
+    /// Resolves series ids and ingests: the first sample of a label set
+    /// takes the slow path (creating the series), everything else rides
+    /// one `put_batch`. Caller holds the ingest lock and a selfmon scope.
+    fn ingest_rows(
+        &self,
+        st: &mut IngestState,
+        rows: Vec<(Labels, Timestamp, Value)>,
+    ) -> Result<u64> {
+        let mut batch: Vec<(SeriesId, Timestamp, Value)> = Vec::with_capacity(rows.len());
+        let mut n = 0u64;
+        for (labels, t, v) in rows {
+            if !v.is_finite() {
+                continue;
+            }
+            n += 1;
+            let key = labels.to_bytes();
+            match st.ids.get(&key) {
+                Some(&id) => batch.push((id, t, v)),
+                None => {
+                    let id = self.engine.put(&labels, t, v)?;
+                    st.ids.insert(key, id);
+                }
+            }
+        }
+        self.engine.put_batch(&batch)?;
+        Ok(n)
+    }
+
+    /// Evaluates recording and alert rules at `at_ms`. Queries run with
+    /// no monitor lock held; the alert-state lock is only taken for the
+    /// transition diff.
+    fn evaluate_rules(&self, at_ms: i64) {
+        if self.rules.records.is_empty() && self.rules.alerts.is_empty() {
+            return;
+        }
+        // Recording rules: re-ingest completed aggregate windows as
+        // derived series. Derived labels are the source series' labels
+        // with `metric` rewritten to the rule name, so a rule over a
+        // labeled family (e.g. heat cells) yields one derived series per
+        // source series.
+        for r in &self.rules.records {
+            let derived = {
+                let _scope = tu_obs::selfmon::enter();
+                self.engine.query_aggregate(
+                    &r.query.selectors(),
+                    r.query.agg,
+                    at_ms - r.query.over_ms,
+                    at_ms,
+                    r.query.step_ms,
+                )
+            };
+            let result = match derived {
+                Ok(result) => result,
+                Err(e) => {
+                    tu_obs::log::warn(
+                        "core.selfmon",
+                        "recording rule query failed",
+                        &[
+                            ("rule", r.name.clone().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    continue;
+                }
+            };
+            let mut rows: Vec<(Labels, Timestamp, Value)> = Vec::new();
+            let mut max_start = i64::MIN;
+            {
+                let st = self.ingest.lock();
+                let cursor = st.record_cursors.get(&r.name).copied().unwrap_or(i64::MIN);
+                for series in &result {
+                    let mut labels = series.labels.clone();
+                    labels.set("metric", r.name.clone());
+                    for s in &series.samples {
+                        // Only completed, not-yet-recorded windows.
+                        if s.t > cursor && s.t + r.query.step_ms <= at_ms {
+                            rows.push((labels.clone(), s.t, s.v));
+                            max_start = max_start.max(s.t);
+                        }
+                    }
+                }
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            let mut st = self.ingest.lock();
+            let _scope = tu_obs::selfmon::enter();
+            if let Err(e) = self.ingest_rows(&mut st, rows) {
+                tu_obs::log::warn(
+                    "core.selfmon",
+                    "recording rule ingest failed",
+                    &[
+                        ("rule", r.name.clone().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                continue;
+            }
+            st.record_cursors.insert(r.name.clone(), max_start);
+        }
+        // Alert rules: one aggregate over the whole lookback window; a
+        // rule over a labeled family fires on its most extreme series.
+        let mut observed: Vec<(usize, Option<f64>)> = Vec::with_capacity(self.rules.alerts.len());
+        for (i, a) in self.rules.alerts.iter().enumerate() {
+            let result = {
+                let _scope = tu_obs::selfmon::enter();
+                self.engine.query_aggregate(
+                    &a.query.selectors(),
+                    a.query.agg,
+                    at_ms - a.query.over_ms,
+                    at_ms,
+                    a.query.over_ms,
+                )
+            };
+            let value =
+                match result {
+                    Ok(rows) => {
+                        let values = rows
+                            .iter()
+                            .flat_map(|s| s.samples.iter().map(|s| s.v))
+                            .filter(|v| v.is_finite());
+                        match a.op {
+                            // The series closest to violating decides.
+                            CmpOp::Gt | CmpOp::Ge => values
+                                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v)))),
+                            CmpOp::Lt | CmpOp::Le => values
+                                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.min(v)))),
+                        }
+                    }
+                    Err(e) => {
+                        tu_obs::log::warn(
+                            "core.selfmon",
+                            "alert rule query failed",
+                            &[
+                                ("rule", a.name.clone().into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                        None
+                    }
+                };
+            observed.push((i, value));
+        }
+        // Transition diff under the state lock; events logged after.
+        enum Transition {
+            Fired(FiringAlert),
+            Resolved(FiringAlert),
+        }
+        let mut transitions: Vec<Transition> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            for (i, value) in observed {
+                let rule = &self.rules.alerts[i];
+                let violates = value.map(|v| rule.op.eval(v, rule.threshold));
+                match (violates, state.firing.contains_key(&rule.name)) {
+                    (Some(true), false) => {
+                        let alert = FiringAlert {
+                            name: rule.name.clone(),
+                            predicate: rule.predicate(),
+                            value: value.unwrap_or(f64::NAN),
+                            since_ms: at_ms,
+                        };
+                        state.firing.insert(rule.name.clone(), alert.clone());
+                        transitions.push(Transition::Fired(alert));
+                    }
+                    (Some(true), true) => {
+                        if let Some(f) = state.firing.get_mut(&rule.name) {
+                            f.value = value.unwrap_or(f.value);
+                        }
+                    }
+                    // No data (None) keeps the current state: a window
+                    // with nothing in it is not evidence of recovery.
+                    (Some(false), true) => {
+                        if let Some(alert) = state.firing.remove(&rule.name) {
+                            transitions.push(Transition::Resolved(alert));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for t in &transitions {
+            match t {
+                Transition::Fired(a) => {
+                    self.alerts_fired.inc();
+                    tu_obs::log::warn(
+                        "alert",
+                        "alert firing",
+                        &[
+                            ("name", a.name.clone().into()),
+                            ("predicate", a.predicate.clone().into()),
+                            ("value", fmt_f64(a.value).into()),
+                        ],
+                    );
+                }
+                Transition::Resolved(a) => {
+                    self.alerts_resolved.inc();
+                    tu_obs::log::info(
+                        "alert",
+                        "alert resolved",
+                        &[
+                            ("name", a.name.clone().into()),
+                            ("predicate", a.predicate.clone().into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Currently-firing alerts, sorted by name.
+    pub fn firing_alerts(&self) -> Vec<FiringAlert> {
+        self.state.lock().firing.values().cloned().collect()
+    }
+
+    // --- JSON endpoints ----------------------------------------------------------
+
+    /// `/query_range?metric=&labels=k:v,k2:v2&start=&end=&step=&agg=` —
+    /// windowed aggregates over the embedded metrics history. Times and
+    /// `step` are milliseconds (engine-native); `start` defaults to
+    /// `end - 1h`, `end` to now, `step` to 60s, `agg` to `avg`.
+    pub fn query_range_json(&self, query: &str) -> String {
+        match self.query_range(query) {
+            Ok(body) => body,
+            Err(e) => format!("{{\"error\":{}}}", json_str(&e.to_string())),
+        }
+    }
+
+    fn query_range(&self, query: &str) -> Result<String> {
+        let metric =
+            param(query, "metric").ok_or_else(|| Error::invalid("missing metric= parameter"))?;
+        let agg = match param(query, "agg") {
+            Some(s) => {
+                AggKind::parse(s).ok_or_else(|| Error::invalid(format!("unknown agg {s:?}")))?
+            }
+            None => AggKind::Avg,
+        };
+        let parse_ms = |key: &str| -> Result<Option<i64>> {
+            match param(query, key) {
+                None | Some("") => Ok(None),
+                Some(v) => v
+                    .parse::<i64>()
+                    .map(Some)
+                    .map_err(|_| Error::invalid(format!("bad {key}= parameter"))),
+            }
+        };
+        let end = parse_ms("end")?.unwrap_or_else(|| self.clock.now_ms());
+        let start = parse_ms("start")?.unwrap_or(end - DEFAULT_RETENTION_MS);
+        let step = parse_ms("step")?.unwrap_or(60_000);
+        if step <= 0 {
+            return Err(Error::invalid("step must be positive"));
+        }
+        let mut selectors = vec![Selector::exact("metric", metric)];
+        if let Some(ls) = param(query, "labels") {
+            for part in ls.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = part
+                    .split_once(':')
+                    .ok_or_else(|| Error::invalid("labels= expects k:v,k2:v2"))?;
+                selectors.push(Selector::exact(k, v));
+            }
+        }
+        let result = {
+            let _scope = tu_obs::selfmon::enter();
+            self.engine
+                .query_aggregate(&selectors, agg, start, end, step)?
+        };
+        let mut out = format!(
+            "{{\"metric\":{},\"agg\":\"{}\",\"start\":{start},\"end\":{end},\"step\":{step},\"series\":[",
+            json_str(metric),
+            agg.name()
+        );
+        for (i, s) in result.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"labels\":");
+            out.push_str(&labels_json(&s.labels));
+            out.push_str(",\"samples\":[");
+            for (j, sample) in s.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", sample.t, fmt_f64(sample.v)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    /// `/series` — every label set in the embedded metrics history.
+    pub fn series_json(&self) -> String {
+        let series = {
+            let _scope = tu_obs::selfmon::enter();
+            self.engine.series_labels()
+        };
+        let mut out = String::from("{\"series\":[");
+        for (i, labels) in series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&labels_json(labels));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `/labels` — label keys and their values across the embedded
+    /// metrics history.
+    pub fn labels_json(&self) -> String {
+        let series = {
+            let _scope = tu_obs::selfmon::enter();
+            self.engine.series_labels()
+        };
+        let mut by_key: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for labels in &series {
+            for (k, v) in labels.iter() {
+                let vals = by_key.entry(k).or_default();
+                if !vals.contains(&v) {
+                    vals.push(v);
+                }
+            }
+        }
+        let mut out = String::from("{\"labels\":{");
+        for (i, (k, mut vals)) in by_key.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            vals.sort_unstable();
+            out.push_str(&json_str(k));
+            out.push_str(":[");
+            for (j, v) in vals.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(v));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// `/alerts` — every alert rule with its state, plus the firing set.
+    pub fn alerts_json(&self) -> String {
+        let firing = self.firing_alerts();
+        let mut out = String::from("{\"rules\":[");
+        for (i, a) in self.rules.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let state = if firing.iter().any(|f| f.name == a.name) {
+                "firing"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{{\"name\":{},\"predicate\":{},\"state\":\"{state}\"}}",
+                json_str(&a.name),
+                json_str(&a.predicate())
+            ));
+        }
+        out.push_str("],\"firing\":[");
+        for (i, f) in firing.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"predicate\":{},\"value\":{},\"since_ms\":{}}}",
+                json_str(&f.name),
+                json_str(&f.predicate),
+                fmt_f64(f.value),
+                f.since_ms
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// `{metric: name}` — the label set of an unlabeled registry metric.
+fn metric_labels(name: &str) -> Labels {
+    Labels::from_pairs([("metric", name)])
+}
+
+/// The value of `key` in a `k=v&k2=v2` query string, undecoded.
+fn param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// JSON-safe float: finite values render bare, NaN/infinity as `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON string literal with the required escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A label set as a JSON object.
+fn labels_json(labels: &Labels) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(k));
+        out.push(':');
+        out.push_str(&json_str(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parsing_round_trips() {
+        let text = "\n\
+            # derived ingest rate\n\
+            record ingest_rate = rate(core.ingest.samples) over 60s step 10s\n\
+            alert hot_partition if sum(heat.requests{tier=object}) over 5m > 100\n\
+            alert ingest_stall if rate(core.ingest.samples) over 120s < 1\n";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.records.len(), 1);
+        assert_eq!(rules.alerts.len(), 2);
+        let r = &rules.records[0];
+        assert_eq!(r.name, "ingest_rate");
+        assert_eq!(r.query.agg, AggKind::Rate);
+        assert_eq!(r.query.over_ms, 60_000);
+        assert_eq!(r.query.step_ms, 10_000);
+        assert_eq!(r.query.render(), "rate(core.ingest.samples) over 60s");
+        let a = &rules.alerts[0];
+        assert_eq!(a.name, "hot_partition");
+        assert_eq!(
+            a.query.matchers,
+            vec![("tier".to_string(), "object".to_string())]
+        );
+        assert_eq!(a.query.over_ms, 300_000);
+        assert_eq!(a.op, CmpOp::Gt);
+        assert_eq!(a.threshold, 100.0);
+        assert_eq!(
+            a.predicate(),
+            "sum(heat.requests{tier=object}) over 300s > 100"
+        );
+        assert_eq!(rules.alerts[1].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn rule_parse_errors_carry_line_numbers() {
+        for bad in [
+            "record x = avg(m) over 60s",         // missing step
+            "alert x if avg(m) over 60s",         // missing op/value
+            "alert x if avg() over 60s > 1",      // empty metric
+            "alert x if avg(m) over 60 > 1",      // unitless duration
+            "widget x = avg(m) over 60s step 5s", // unknown keyword
+            "alert x if avg(m) over 60s >> 1",    // bad operator
+        ] {
+            let err = parse_rules(bad).unwrap_err().to_string();
+            assert!(err.contains("line 1"), "{bad}: {err}");
+        }
+        assert!(parse_rules("# only comments\n\n")
+            .unwrap()
+            .alerts
+            .is_empty());
+    }
+
+    #[test]
+    fn cmp_ops_evaluate() {
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+        assert!(!CmpOp::Gt.eval(1.0, 1.0));
+        assert!(CmpOp::Ge.eval(1.0, 1.0));
+        assert!(CmpOp::Lt.eval(0.5, 1.0));
+        assert!(CmpOp::Le.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn json_helpers_escape_and_bound() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let l = Labels::from_pairs([("metric", "m"), ("tier", "block")]);
+        assert_eq!(labels_json(&l), "{\"metric\":\"m\",\"tier\":\"block\"}");
+        assert_eq!(param("metric=x&start=5", "start"), Some("5"));
+        assert_eq!(param("metric=x", "end"), None);
+    }
+}

@@ -158,7 +158,7 @@ impl FlightRecorder {
     }
 
     fn record(&self, name: &str, phase: FlightPhase, start: Option<Instant>, dur_us: u64) {
-        if !self.is_enabled() {
+        if !self.is_enabled() || crate::selfmon::active() {
             return;
         }
         let (trace_id, op) = crate::trace::current_id_op().unwrap_or((0, String::new()));
@@ -189,6 +189,14 @@ impl FlightRecorder {
     pub fn drain(&self) -> Vec<FlightEvent> {
         let mut ring = self.ring.lock();
         ring.buf.drain(..).collect()
+    }
+
+    /// Copies every buffered event, oldest first, leaving the ring
+    /// intact — a non-destructive read for human scrapes (`/flight?peek=1`)
+    /// that must not race the exporter out of its events.
+    pub fn peek(&self) -> Vec<FlightEvent> {
+        let ring = self.ring.lock();
+        ring.buf.iter().cloned().collect()
     }
 
     /// Number of events overwritten since enable (ring overflow).
@@ -282,6 +290,24 @@ mod tests {
             assert_eq!(events[0].trace_id, id);
             assert_eq!(events[0].op, "flight-test");
         }
+
+        // Peek copies without draining; a following drain still sees all.
+        f.enable(16);
+        f.instant("peeked");
+        let peeked = f.peek();
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(peeked[0].name, "peeked");
+        assert_eq!(f.len(), 1, "peek leaves the ring intact");
+        assert_eq!(f.peek(), f.drain(), "peek and drain see the same events");
+        assert!(f.is_empty());
+
+        // Events recorded inside a selfmon scope are suppressed — the
+        // embedded telemetry engine must not pollute the flight timeline.
+        {
+            let _scope = crate::selfmon::enter();
+            f.instant("selfmon-noise");
+        }
+        assert!(f.is_empty(), "selfmon-scoped events are dropped");
 
         f.disable();
         f.instant("after-disable");

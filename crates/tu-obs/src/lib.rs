@@ -74,6 +74,7 @@ pub mod lockdep;
 pub mod log;
 mod monitor;
 mod registry;
+pub mod selfmon;
 mod serve;
 mod snapshot;
 mod spans;
@@ -87,7 +88,9 @@ pub use flight::{flight, FlightEvent, FlightPhase, FlightRecorder};
 pub use health::{Health, HealthCheck, HealthReport, HealthSource};
 pub use heat::{HeatGuard, HeatSnapshot, PartitionHeat, PartitionKey, TierHeat};
 pub use monitor::{Monitor, MonitorOptions, SampleObserver, SpanQuantiles, TierRates, Vitals};
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use registry::{
+    bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS,
+};
 pub use serve::{Endpoint, ObsServer, ServeSources};
 pub use snapshot::MetricsSnapshot;
 pub use spans::{span, span_of, SpanTimer, Stopwatch};

@@ -240,11 +240,13 @@ impl Monitor {
     pub fn sample(&self) {
         let at = (self.now_ms)();
         let snap = crate::global().snapshot();
-        {
-            let observers = self.observers.lock();
-            for obs in observers.iter() {
-                obs(at, &snap);
-            }
+        // Clone the observer list out so the callbacks run with no lock
+        // held: observers like the engine's self-monitor acquire their own
+        // locks (some ranking below this one), which the witness would
+        // rightly flag if the observers lock were still on the stack.
+        let observers: Vec<SampleObserver> = self.observers.lock().clone();
+        for obs in observers.iter() {
+            obs(at, &snap);
         }
         let mut ring = self.lock_ring();
         if ring.len() >= self.capacity {
@@ -274,6 +276,31 @@ impl Monitor {
         }
         let (t0, oldest) = ring.front()?;
         let (t1, newest) = ring.back()?;
+        Some(Self::derive(*t0, oldest, *t1, newest))
+    }
+
+    /// Like [`Monitor::vitals`], but deltas from the newest buffered
+    /// sample at least `window_ms` older than the latest one instead of
+    /// the ring's front. Requests reaching further back than the ring
+    /// holds clamp to the oldest sample (i.e. degrade to [`Monitor::vitals`]).
+    pub fn vitals_window(&self, window_ms: i64) -> Option<Vitals> {
+        let ring = self.lock_ring();
+        if ring.len() < 2 {
+            return None;
+        }
+        let (t1, newest) = ring.back()?;
+        let cutoff = t1.saturating_sub(window_ms.max(1));
+        let (t0, oldest) = ring
+            .iter()
+            .rev()
+            .skip(1)
+            .find(|(t, _)| *t <= cutoff)
+            .or_else(|| ring.front())?;
+        Some(Self::derive(*t0, oldest, *t1, newest))
+    }
+
+    /// The shared vitals computation between two ring entries.
+    fn derive(t0: i64, oldest: &MetricsSnapshot, t1: i64, newest: &MetricsSnapshot) -> Vitals {
         let window_ms = (t1 - t0).max(1);
         let delta = newest.since(oldest);
         let secs = window_ms as f64 / 1_000.0;
@@ -298,9 +325,9 @@ impl Monitor {
                 p99_ns: h.p99().unwrap_or(0),
             })
             .collect();
-        Some(Vitals {
+        Vitals {
             window_ms,
-            at_ms: *t1,
+            at_ms: t1,
             ingest_samples_per_s: rate("core.ingest.samples"),
             queries_per_s: rate("core.query.requests"),
             wal_flushed_bytes_per_s: rate("lsm.wal.flushed_bytes"),
@@ -315,7 +342,7 @@ impl Monitor {
                 None
             },
             spans,
-        })
+        }
     }
 
     /// Starts the background sampler thread (idempotent). The thread
@@ -480,6 +507,33 @@ mod tests {
         // Samples at 7s, 8s, 9s survive → 2s window ending at 9s.
         assert_eq!(v.window_ms, 2_000);
         assert_eq!(v.at_ms, 9_000);
+    }
+
+    #[test]
+    fn vitals_window_selects_the_delta_base() {
+        let (t, now) = manual_clock();
+        let m = Monitor::new(MonitorOptions {
+            capacity: 8,
+            now_ms: Some(now),
+            ..Default::default()
+        });
+        for i in 0..6 {
+            t.store(i * 1_000, Ordering::Relaxed);
+            m.sample();
+            crate::counter("montest.windowed").add(10);
+        }
+        // Ring holds samples at 0..=5s; full window is 5s.
+        assert_eq!(m.vitals().expect("vitals").window_ms, 5_000);
+        // A 2s request deltas from the sample at 3s (newest ≤ 5s − 2s).
+        let v = m.vitals_window(2_000).expect("windowed vitals");
+        assert_eq!(v.window_ms, 2_000);
+        assert_eq!(v.at_ms, 5_000);
+        // Reaching past the ring clamps to the oldest sample.
+        let v = m.vitals_window(60_000).expect("clamped vitals");
+        assert_eq!(v.window_ms, 5_000);
+        // Degenerate requests still take the adjacent sample.
+        let v = m.vitals_window(0).expect("minimal window");
+        assert_eq!(v.window_ms, 1_000);
     }
 
     #[test]

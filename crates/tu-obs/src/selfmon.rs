@@ -1,0 +1,179 @@
+//! The self-monitoring recursion guard.
+//!
+//! `tu-core`'s `SelfMonitor` ingests the primary engine's metrics history
+//! into a *second*, embedded TimeUnion instance. That self-engine runs the
+//! very same instrumented storage stack, so without a guard every WAL
+//! append, SSTable write, and flush it performs would charge the primary
+//! engine's `cloud.<tier>.*` counters, bleed into active trace contexts,
+//! and smear the partition heat map — the telemetry would observe itself.
+//!
+//! The guard is a thread-local scope flag consulted at the
+//! instrumentation choke points:
+//!
+//! * the registry write paths ([`Counter::add`](crate::Counter::add),
+//!   [`Gauge`](crate::Gauge) setters, [`Histogram::record`](crate::Histogram::record)),
+//! * trace charging (`trace::charge` / `trace::charge_span`),
+//! * the heat registry's `record_read`/`record_write`/`record_delete`,
+//! * `tu-cloud`'s `TierCounters` (which additionally reports the diverted
+//!   request/byte volume here via [`note_diverted`], so the self-engine's
+//!   I/O stays visible without polluting the primary accounting).
+//!
+//! The fast path when self-monitoring has never been used in the process
+//! is a single relaxed load of a process-global `AtomicBool` — the
+//! thread-local is only consulted once some thread has entered a scope.
+//! The flag propagates across `tu_common::pool::WorkerPool` workers the
+//! same way trace handles do, so a `put_batch` into the self-engine stays
+//! guarded even when an env override widens the ingest pool.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once the first [`enter`] happens anywhere in the process; lets the
+/// never-used case stay a single relaxed load with no TLS access.
+static EVER_ENTERED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// True while this thread is working on behalf of the self-engine.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the calling thread is inside a self-monitoring scope —
+/// instrumentation choke points early-return when this holds.
+#[inline]
+pub fn active() -> bool {
+    EVER_ENTERED.load(Ordering::Relaxed) && ACTIVE.with(|a| a.get())
+}
+
+/// Enters a self-monitoring scope on the calling thread. All registry,
+/// trace, and heat charges are suppressed until the returned guard drops
+/// (scopes nest; the guard restores the previous state).
+pub fn enter() -> SelfmonScope {
+    EVER_ENTERED.store(true, Ordering::Relaxed);
+    let prev = ACTIVE.with(|a| a.replace(true));
+    SelfmonScope {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII scope returned by [`enter`]; restores the thread's previous
+/// guard state on drop. `!Send` — the flag is thread-local, so the scope
+/// must end on the thread that opened it.
+pub struct SelfmonScope {
+    prev: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SelfmonScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTIVE.with(|a| a.set(prev));
+    }
+}
+
+/// Captures the calling thread's guard state for hand-off to a worker
+/// thread (mirrors `TraceHandle` propagation in `tu_common::pool`).
+#[inline]
+pub fn current() -> bool {
+    active()
+}
+
+/// Re-enters a captured scope on a worker thread: no-op guard when
+/// `active` is false.
+pub fn reenter(active: bool) -> Option<SelfmonScope> {
+    if active {
+        Some(enter())
+    } else {
+        None
+    }
+}
+
+/// Runs `f` with the guard forced *off* on this thread — used below to
+/// record the plane's own visibility counters without tripping the very
+/// suppression they measure.
+fn exempt<R>(f: impl FnOnce() -> R) -> R {
+    let prev = ACTIVE.with(|a| a.replace(false));
+    let out = f();
+    ACTIVE.with(|a| a.set(prev));
+    out
+}
+
+/// Called by `tu-cloud`'s `TierCounters` when a storage charge was
+/// diverted by the guard: keeps the self-engine's I/O volume visible as
+/// `obs.selfmon.diverted.*` without touching the primary accounting.
+pub fn note_diverted(requests: u64, bytes: u64) {
+    exempt(|| {
+        if requests > 0 {
+            crate::counter("obs.selfmon.diverted.requests").add(requests);
+        }
+        if bytes > 0 {
+            crate::counter("obs.selfmon.diverted.bytes").add(bytes);
+        }
+    });
+}
+
+/// Records one self-monitoring sample's ingest volume (called by the
+/// `SelfMonitor` itself, outside its guarded scope).
+pub fn note_sample(samples_ingested: u64) {
+    exempt(|| {
+        crate::counter("obs.selfmon.samples").add(samples_ingested);
+        crate::counter("obs.selfmon.flushes").inc();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_sets_and_restores_flag() {
+        assert!(!active());
+        {
+            let _g = enter();
+            assert!(active());
+            {
+                let _g2 = enter();
+                assert!(active());
+            }
+            assert!(active(), "nested exit restores outer scope");
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn flag_is_thread_local() {
+        let _g = enter();
+        assert!(active());
+        std::thread::spawn(|| {
+            assert!(!active(), "other threads are unaffected");
+            let cap = current();
+            assert!(!cap);
+            assert!(reenter(cap).is_none());
+        })
+        .join()
+        .expect("no panic");
+    }
+
+    #[test]
+    fn reenter_propagates_captured_state() {
+        let _g = enter();
+        let cap = current();
+        std::thread::spawn(move || {
+            assert!(!active());
+            let _worker_guard = reenter(cap);
+            assert!(active());
+        })
+        .join()
+        .expect("no panic");
+    }
+
+    #[test]
+    fn note_diverted_bypasses_suppression() {
+        let _g = enter();
+        let before = crate::counter("obs.selfmon.diverted.requests").get();
+        note_diverted(3, 0);
+        let after = crate::counter("obs.selfmon.diverted.requests").get();
+        assert_eq!(after - before, 3);
+    }
+}

@@ -10,10 +10,10 @@
 //! |-----------------|---------|
 //! | `/metrics`      | Prometheus text exposition of the global registry |
 //! | `/metrics.json` | [`MetricsSnapshot::to_json`](crate::MetricsSnapshot::to_json) |
-//! | `/flight`       | chrome://tracing JSON **drain** of the flight recorder |
+//! | `/flight`       | chrome://tracing JSON **drain** of the flight recorder (`?peek=1` copies without draining) |
 //! | `/healthz`      | aggregated [`HealthReport`] JSON; 503 when unhealthy |
 //! | `/readyz`       | same report; 503 until ready / after shutdown begins |
-//! | `/vitals`       | windowed [`Vitals`](crate::Vitals) JSON from the monitor |
+//! | `/vitals`       | windowed [`Vitals`](crate::Vitals) JSON from the monitor (`?window=<secs>` picks the delta window) |
 //!
 //! Embedders register additional routes via [`ServeSources::extra`] (the
 //! engine adds `/introspect/lsm`, `/introspect/partitions`, `/costs`).
@@ -43,27 +43,47 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 const WORKERS: usize = 2;
 
-/// A caller-registered endpoint: the handler runs per request and returns
-/// `(content_type, body)`.
+/// A caller-registered endpoint: the handler runs per request with the
+/// raw query string (`""` when absent) and returns `(content_type, body)`.
 pub struct Endpoint {
     /// Absolute path the endpoint answers on (e.g. `/costs`).
     pub path: String,
     /// Per-request handler (must be cheap and never block on I/O).
-    pub handler: Arc<dyn Fn() -> (String, String) + Send + Sync>,
+    pub handler: Arc<dyn Fn(&str) -> (String, String) + Send + Sync>,
 }
 
 impl Endpoint {
     /// An endpoint at `path` answering 200 with `handler`'s
-    /// `(content_type, body)`.
+    /// `(content_type, body)`; any query string is ignored.
     pub fn new(
         path: impl Into<String>,
         handler: impl Fn() -> (String, String) + Send + Sync + 'static,
     ) -> Endpoint {
         Endpoint {
             path: path.into(),
+            handler: Arc::new(move |_query| handler()),
+        }
+    }
+
+    /// An endpoint whose handler receives the request's query string
+    /// (everything after `?`, undecoded; `""` when absent).
+    pub fn with_query(
+        path: impl Into<String>,
+        handler: impl Fn(&str) -> (String, String) + Send + Sync + 'static,
+    ) -> Endpoint {
+        Endpoint {
+            path: path.into(),
             handler: Arc::new(handler),
         }
     }
+}
+
+/// The value of `key` in a `k=v&k2=v2` query string, undecoded.
+pub(crate) fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
 }
 
 /// What the endpoints serve. [`ObsServer::bind`] snapshots/drains the
@@ -216,8 +236,9 @@ fn read_request_head(stream: &mut TcpStream) -> Vec<u8> {
 }
 
 /// Strict parse of the request line: exactly `GET <path> HTTP/1.x`.
+/// Returns `(path, query)` — the query string is `""` when absent.
 /// `Err(status)` carries the 4xx to answer with.
-fn parse_request_line(head: &[u8]) -> Result<String, (u16, &'static str)> {
+fn parse_request_line(head: &[u8]) -> Result<(String, String), (u16, &'static str)> {
     if head.len() >= MAX_REQUEST_BYTES {
         return Err((400, "Bad Request"));
     }
@@ -242,8 +263,10 @@ fn parse_request_line(head: &[u8]) -> Result<String, (u16, &'static str)> {
     if !target.starts_with('/') {
         return Err((400, "Bad Request"));
     }
-    // Scrapers append query strings (`/metrics?format=...`); ignore them.
-    Ok(target.split('?').next().unwrap_or(target).to_string())
+    // Scrapers append query strings (`/metrics?format=...`); split them
+    // off so plain routes ignore them and query-aware ones can opt in.
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    Ok((path.to_string(), query.to_string()))
 }
 
 fn write_response(stream: &mut TcpStream, status: u16, reason: &str, ctype: &str, body: &str) {
@@ -265,8 +288,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         return;
     }
     shared.requests.inc();
-    let path = match parse_request_line(&head) {
-        Ok(path) => path,
+    let (path, query) = match parse_request_line(&head) {
+        Ok(parts) => parts,
         Err((status, reason)) => {
             shared.bad_requests.inc();
             write_response(&mut stream, status, reason, "text/plain", reason);
@@ -306,7 +329,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             );
         }
         "/flight" => {
-            let body = crate::chrome_trace_json(&crate::flight().drain());
+            // `?peek=1` copies the ring without draining it, so a human
+            // scrape cannot race the chrome-trace exporter out of events.
+            let events = if query_param(&query, "peek") == Some("1") {
+                crate::flight().peek()
+            } else {
+                crate::flight().drain()
+            };
+            let body = crate::chrome_trace_json(&events);
             write_response(&mut stream, 200, "OK", JSON, &body);
         }
         "/healthz" => {
@@ -328,11 +358,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             write_response(&mut stream, status, reason, JSON, &report.to_json());
         }
         "/vitals" => {
+            // `?window=<secs>` picks how far back in the snapshot ring to
+            // delta from; default (and any unparsable value) stays the
+            // full-ring window, clamped to ring capacity either way.
+            let window_ms = query_param(&query, "window")
+                .and_then(|v| v.parse::<i64>().ok())
+                .filter(|&s| s > 0)
+                .map(|s| s.saturating_mul(1_000));
             let body = shared
                 .sources
                 .monitor
                 .as_ref()
-                .and_then(|m| m.vitals())
+                .and_then(|m| match window_ms {
+                    Some(w) => m.vitals_window(w),
+                    None => m.vitals(),
+                })
                 .map(|v| v.to_json())
                 .unwrap_or_else(|| "{\"status\":\"warming-up\"}".to_string());
             write_response(&mut stream, 200, "OK", JSON, &body);
@@ -345,7 +385,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 .find(|e| e.path == path.as_str())
             {
                 Some(e) => {
-                    let (ctype, body) = (e.handler)();
+                    let (ctype, body) = (e.handler)(&query);
                     write_response(&mut stream, 200, "OK", &ctype, &body);
                 }
                 None => write_response(&mut stream, 404, "Not Found", "text/plain", "Not Found"),
@@ -398,9 +438,14 @@ mod tests {
             ServeSources {
                 health: Arc::new(move || h.lock().unwrap().clone()),
                 monitor: None,
-                extra: vec![Endpoint::new("/custom", || {
-                    ("application/json".to_string(), "{\"ok\":true}".to_string())
-                })],
+                extra: vec![
+                    Endpoint::new("/custom", || {
+                        ("application/json".to_string(), "{\"ok\":true}".to_string())
+                    }),
+                    Endpoint::with_query("/echo", |query| {
+                        ("text/plain".to_string(), format!("q={query}"))
+                    }),
+                ],
             },
         )
         .expect("bind");
@@ -433,13 +478,18 @@ mod tests {
         assert!(body_of(&json).contains("\"servetest.requests\":3"));
 
         // /flight drains the recorder (under the cross-module lock — the
-        // recorder is process-global and flight.rs tests use it too).
+        // recorder is process-global and flight.rs tests use it too), and
+        // ?peek=1 reads without draining.
         {
             let _guard = crate::flight::TEST_LOCK
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             crate::flight().enable(32);
             crate::flight().instant("servetest.event");
+            let peeked = get(addr, "/flight?peek=1");
+            assert_eq!(status_of(&peeked), 200);
+            assert!(body_of(&peeked).contains("servetest.event"));
+            assert!(!crate::flight().is_empty(), "peek leaves the ring intact");
             let flight = get(addr, "/flight");
             assert_eq!(status_of(&flight), 200);
             assert!(body_of(&flight).contains("servetest.event"));
@@ -447,8 +497,13 @@ mod tests {
             crate::flight().disable();
         }
 
-        // Query strings are ignored.
+        // Query strings are ignored by plain routes...
         assert_eq!(status_of(&get(addr, "/metrics?format=prometheus")), 200);
+        // ...and delivered verbatim to query-aware extras.
+        let echoed = get(addr, "/echo?metric=x&start=5");
+        assert_eq!(status_of(&echoed), 200);
+        assert_eq!(body_of(&echoed), "q=metric=x&start=5");
+        assert_eq!(body_of(&get(addr, "/echo")), "q=");
 
         // /healthz + /readyz follow the live source: flip it and re-probe.
         assert_eq!(status_of(&get(addr, "/healthz")), 200);

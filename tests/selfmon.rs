@@ -1,0 +1,579 @@
+//! The self-monitoring plane, end to end: the recursion guard that keeps
+//! the embedded telemetry engine's own I/O out of the primary accounting,
+//! the `/query_range` history pinned against the offline `aggregate_step`
+//! recompute, rule firing/resolution, and the HTTP endpoints.
+//!
+//! The `tu-obs` registry and heat map are process-global, so every test
+//! takes a file-local lock and compares *deltas* — absolute values belong
+//! to whichever test ran first.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use timeunion::engine::{aggregate_step, AggKind, Options, Selector, TimeUnion};
+use timeunion::lsm::TreeOptions;
+use timeunion::model::{Labels, Sample};
+use tu_cloud::cost::LatencyMode;
+use tu_cloud::ledger::CostLedger;
+use tu_common::clock::{Clock, SimClock};
+use tu_core::selfmon::{SelfMonitor, SelfmonOptions};
+use tu_obs::Health;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn opts() -> Options {
+    Options {
+        chunk_samples: 8,
+        latency: LatencyMode::Off,
+        tree: TreeOptions {
+            memtable_bytes: 16 << 10,
+            max_sstable_bytes: 16 << 10,
+            ..TreeOptions::default()
+        },
+        query_threads: 1,
+        ingest_threads: 1,
+        ..Options::default()
+    }
+}
+
+const CLOUD_COUNTERS: [&str; 6] = [
+    "get_requests",
+    "put_requests",
+    "delete_requests",
+    "bytes_read",
+    "bytes_written",
+    "first_reads",
+];
+
+/// The primary cloud accounting formatted as one comparable string:
+/// per-tier counter deltas plus the normalized `used_bytes` gauge level.
+fn cloud_delta_string(base: &tu_obs::MetricsSnapshot, now: &tu_obs::MetricsSnapshot) -> String {
+    let d = now.since(base);
+    let mut out = String::new();
+    for tier in ["block", "object"] {
+        for c in CLOUD_COUNTERS {
+            let name = format!("cloud.{tier}.{c}");
+            out.push_str(&format!("{name}={} ", d.counter(&name).unwrap_or(0)));
+        }
+        let name = format!("cloud.{tier}.used_bytes");
+        let level = now.gauge(&name).unwrap_or(0) - base.gauge(&name).unwrap_or(0);
+        out.push_str(&format!("{name}={level}\n"));
+    }
+    out
+}
+
+/// Per-tier heat totals (partitions + unattributed) as integer deltas.
+fn heat_delta_string(base: &tu_obs::HeatSnapshot, now: &tu_obs::HeatSnapshot) -> String {
+    let mut out = String::new();
+    for tier in ["block", "object"] {
+        let b = base.tier_totals(tier);
+        let n = now.tier_totals(tier);
+        out.push_str(&format!(
+            "{tier}: get={} put={} del={} br={} bw={} fr={}\n",
+            n.get_requests - b.get_requests,
+            n.put_requests - b.put_requests,
+            n.delete_requests - b.delete_requests,
+            n.bytes_read - b.bytes_read,
+            n.bytes_written - b.bytes_written,
+            n.first_reads - b.first_reads,
+        ));
+    }
+    out
+}
+
+/// A registry snapshot with this run's `base` subtracted: counters and
+/// histograms via `since`, gauges re-based to run-relative levels — so a
+/// cost ledger fed these snapshots prices identical dollars across runs
+/// regardless of what earlier tests left in the process-global registry.
+fn normalized(base: &tu_obs::MetricsSnapshot) -> tu_obs::MetricsSnapshot {
+    let mut snap = tu_obs::global().snapshot().since(base);
+    snap.gauges = snap
+        .gauges
+        .into_iter()
+        .map(|(k, v)| {
+            let b = base.gauge(&k).unwrap_or(0);
+            (k, v - b)
+        })
+        .collect();
+    snap
+}
+
+/// The recursion guard, measured directly: after the primary workload
+/// quiesces, N self-monitoring ticks churn the embedded engine (ingest,
+/// WAL flushes, retention) — and the primary `cloud.<tier>.*` counters,
+/// `used_bytes` gauges, and heat totals must not move by a single byte,
+/// while the diverted-traffic tally proves the embedded I/O was real.
+fn ticks_leave_primary_untouched(threads: usize) {
+    let _g = lock();
+    let dir = tempfile::tempdir().unwrap();
+    let clock = SimClock::new(1_000_000);
+    let mut o = opts();
+    o.clock = Arc::new(clock.clone());
+    let db = TimeUnion::open(dir.path(), o).unwrap();
+    db.set_ingest_threads(threads);
+
+    let ledger = CostLedger::new(64);
+    let sm = SelfMonitor::open(
+        dir.path(),
+        Arc::new(clock.clone()),
+        Arc::clone(&ledger),
+        SelfmonOptions::default(),
+    )
+    .unwrap();
+    // Fan the embedded engine's own batched ingest out too: if the worker
+    // pool dropped the guard flag on its threads, the embedded WAL/flush
+    // charges would leak into the primary counters below.
+    sm.engine().set_ingest_threads(threads);
+
+    // A real primary workload so the counters being protected are live.
+    let ids: Vec<_> = (0..8)
+        .map(|s| {
+            let labels = Labels::from_pairs([
+                ("metric", "selfmon_guard"),
+                ("host", &format!("h{s}") as &str),
+            ]);
+            db.put(&labels, 0, 0.0).unwrap()
+        })
+        .collect();
+    let batch: Vec<_> = (1..2_000i64)
+        .map(|t| (ids[(t % 8) as usize], t * 1_000, t as f64))
+        .collect();
+    db.put_batch(&batch).unwrap();
+    db.flush_all().unwrap();
+    db.sync().unwrap();
+    db.query(
+        &[Selector::exact("metric", "selfmon_guard")],
+        0,
+        i64::MAX / 4,
+    )
+    .unwrap();
+
+    // Quiesced: everything from here on is self-monitoring traffic only.
+    let snap1 = tu_obs::global().snapshot();
+    let heat1 = tu_obs::heat::snapshot();
+
+    let ticks = 90u64; // > 60 ticks so the embedded retention pass runs too
+    for _ in 0..ticks {
+        let t = clock.advance(1_000);
+        let snap = tu_obs::global().snapshot();
+        sm.record(t, &snap);
+    }
+
+    let snap2 = tu_obs::global().snapshot();
+    let heat2 = tu_obs::heat::snapshot();
+    assert_eq!(
+        cloud_delta_string(&snap1, &snap2),
+        cloud_delta_string(&snap1, &snap1),
+        "self-monitoring ticks leaked into the primary cloud accounting ({threads} threads)"
+    );
+    assert_eq!(
+        heat_delta_string(&heat1, &heat2),
+        heat_delta_string(&heat1, &heat1),
+        "self-monitoring ticks leaked into the heat map ({threads} threads)"
+    );
+
+    // The guard diverted real traffic (the embedded engine's WAL syncs at
+    // least), every tick ingested successfully, and the embedded engine
+    // actually persisted under `<dir>/selfmon`.
+    let d = snap2.since(&snap1);
+    assert!(
+        d.counter("obs.selfmon.diverted.requests").unwrap_or(0) > 0,
+        "no diverted traffic recorded — was the embedded engine idle?"
+    );
+    assert_eq!(d.counter("obs.selfmon.flushes"), Some(ticks));
+    assert!(d.counter("obs.selfmon.samples").unwrap_or(0) > 0);
+    let entries = std::fs::read_dir(dir.path().join("selfmon"))
+        .unwrap()
+        .count();
+    assert!(entries > 0, "embedded telemetry engine left no files");
+}
+
+#[test]
+fn ticks_leave_primary_untouched_1_thread() {
+    ticks_leave_primary_untouched(1);
+}
+
+#[test]
+fn ticks_leave_primary_untouched_8_threads() {
+    ticks_leave_primary_untouched(8);
+}
+
+/// One deterministic primary run: ingest in rounds, close a billing
+/// window per round, optionally interleave self-monitoring ticks, and
+/// return the formatted cloud/heat/ledger accounting for comparison.
+fn identity_run(selfmon_on: bool) -> (String, String, String) {
+    let dir = tempfile::tempdir().unwrap();
+    let clock = SimClock::new(5_000_000);
+    let mut o = opts();
+    o.clock = Arc::new(clock.clone());
+    let db = TimeUnion::open(dir.path(), o).unwrap();
+    // The `TU_*_THREADS` env knobs outrank `Options` inside `open`; pin
+    // the fan-out back to one worker so the WAL group-commit wave layout
+    // (and with it the byte counts this test compares) is deterministic.
+    db.set_query_threads(1);
+    db.set_ingest_threads(1);
+
+    let base = tu_obs::global().snapshot();
+    let heat0 = tu_obs::heat::snapshot();
+    let ledger = CostLedger::new(64);
+    let sm = if selfmon_on {
+        Some(
+            SelfMonitor::open(
+                dir.path(),
+                Arc::new(clock.clone()),
+                Arc::clone(&ledger),
+                SelfmonOptions::default(),
+            )
+            .unwrap(),
+        )
+    } else {
+        None
+    };
+
+    let ids: Vec<_> = (0..4)
+        .map(|s| {
+            let labels = Labels::from_pairs([
+                ("metric", "selfmon_identity"),
+                ("host", &format!("h{s}") as &str),
+            ]);
+            db.put(&labels, 0, 0.0).unwrap()
+        })
+        .collect();
+    for round in 0..10i64 {
+        let batch: Vec<_> = (0..200i64)
+            .map(|i| {
+                let t = round * 200 + i + 1;
+                (ids[(t % 4) as usize], t * 1_000, t as f64)
+            })
+            .collect();
+        db.put_batch(&batch).unwrap();
+        let t = clock.advance(60_000);
+        ledger.record(t, &normalized(&base));
+        if let Some(sm) = &sm {
+            sm.record(t, &tu_obs::global().snapshot());
+        }
+    }
+    db.flush_all().unwrap();
+    db.sync().unwrap();
+    db.query(
+        &[Selector::exact("metric", "selfmon_identity")],
+        0,
+        i64::MAX / 4,
+    )
+    .unwrap();
+    let t = clock.advance(60_000);
+    ledger.record(t, &normalized(&base));
+    if let Some(sm) = &sm {
+        sm.record(t, &tu_obs::global().snapshot());
+    }
+
+    let now = tu_obs::global().snapshot();
+    let heat1 = tu_obs::heat::snapshot();
+    (
+        cloud_delta_string(&base, &now),
+        heat_delta_string(&heat0, &heat1),
+        ledger.to_json(),
+    )
+}
+
+/// The acceptance bar: an identical single-threaded workload produces
+/// byte-identical primary cloud counters, heat totals, and cost-ledger
+/// dollars whether self-monitoring is off or ticking along with it.
+#[test]
+fn identical_accounting_with_selfmon_on_and_off() {
+    let _g = lock();
+    let (cloud_off, heat_off, ledger_off) = identity_run(false);
+    let (cloud_on, heat_on, ledger_on) = identity_run(true);
+    assert_eq!(
+        cloud_off, cloud_on,
+        "cloud counters diverged under self-monitoring"
+    );
+    assert_eq!(
+        heat_off, heat_on,
+        "heat totals diverged under self-monitoring"
+    );
+    assert_eq!(
+        ledger_off, ledger_on,
+        "cost-ledger dollars diverged under self-monitoring"
+    );
+}
+
+/// Builds the exact JSON `/query_range` must produce for a single-series
+/// metric, from the offline `aggregate_step` reference fold.
+fn expected_range_json(
+    metric: &str,
+    agg: AggKind,
+    raw: &[Sample],
+    start: i64,
+    end: i64,
+    step: i64,
+) -> String {
+    let samples = aggregate_step(agg, raw, start, end, step);
+    let mut out = format!(
+        "{{\"metric\":\"{metric}\",\"agg\":\"{}\",\"start\":{start},\"end\":{end},\"step\":{step},\"series\":[",
+        agg.name()
+    );
+    out.push_str(&format!(
+        "{{\"labels\":{{\"metric\":\"{metric}\"}},\"samples\":["
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", s.t, s.v));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Ten-plus minutes of simulated history at a 1 s cadence, then
+/// `/query_range` pinned byte-for-byte against `aggregate_step` recomputed
+/// from the raw values that were handed to the monitor — for every
+/// aggregate the endpoint accepts.
+#[test]
+fn query_range_matches_offline_recompute() {
+    let _g = lock();
+    let dir = tempfile::tempdir().unwrap();
+    let clock = SimClock::new(10_000_000);
+    let ledger = CostLedger::new(16);
+    let sm = SelfMonitor::open(
+        dir.path(),
+        Arc::new(clock.clone()),
+        ledger,
+        SelfmonOptions::default(),
+    )
+    .unwrap();
+
+    let signal = tu_obs::counter("test.selfmon.signal");
+    let mut raw: Vec<Sample> = Vec::new();
+    let mut t = clock.now_ms();
+    for i in 0..660u64 {
+        signal.add(i % 7 + 1);
+        t = clock.advance(1_000);
+        let snap = tu_obs::global().snapshot();
+        raw.push(Sample::new(
+            t,
+            snap.counter("test.selfmon.signal").unwrap() as f64,
+        ));
+        sm.record(t, &snap);
+    }
+
+    let end = t;
+    let start = end - 660_000;
+    let step = 60_000;
+    for agg in ["avg", "sum", "min", "max", "count", "rate"] {
+        let kind = AggKind::parse(agg).unwrap();
+        let got = sm.query_range_json(&format!(
+            "metric=test.selfmon.signal&start={start}&end={end}&step={step}&agg={agg}"
+        ));
+        let want = expected_range_json("test.selfmon.signal", kind, &raw, start, end, step);
+        assert_eq!(got, want, "agg={agg}");
+        let windows = got.matches('[').count();
+        assert!(windows > 10, "agg={agg} returned too few windows: {got}");
+    }
+}
+
+/// Alert rules fire on violation, hold while violating, resolve once the
+/// lookback window clears, and count their transitions; recording rules
+/// materialize derived series the range endpoint can read back.
+#[test]
+fn rules_fire_resolve_and_record() {
+    let _g = lock();
+    let dir = tempfile::tempdir().unwrap();
+    let clock = SimClock::new(20_000_000);
+    let ledger = CostLedger::new(16);
+    let rules = "\
+# the gauge is the test's hand on the thermostat
+alert high_queue if max(test.selfmon.queue) over 60s > 10
+record queue_avg = avg(test.selfmon.queue) over 60s step 60s
+";
+    let sm = SelfMonitor::open(
+        dir.path(),
+        Arc::new(clock.clone()),
+        ledger,
+        SelfmonOptions {
+            rules: rules.to_string(),
+            ..SelfmonOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sm.rules().alerts.len(), 1);
+    assert_eq!(sm.rules().records.len(), 1);
+
+    let base = tu_obs::global().snapshot();
+    let queue = tu_obs::gauge("test.selfmon.queue");
+    let tick = |advance_ms: i64| {
+        let t = clock.advance(advance_ms);
+        sm.record(t, &tu_obs::global().snapshot());
+        t
+    };
+
+    // Violating samples. Aggregate windows are half-open `[start, end)`,
+    // so the tick that *ingests* a sample at `end` does not yet see it —
+    // the next tick's window does.
+    queue.set(50);
+    tick(30_000);
+    tick(30_000);
+    let fired_at = tick(30_000);
+    let firing = sm.firing_alerts();
+    assert_eq!(
+        firing.len(),
+        1,
+        "alert did not fire: {:?}",
+        sm.alerts_json()
+    );
+    assert_eq!(firing[0].name, "high_queue");
+    assert_eq!(firing[0].value, 50.0);
+    assert!(firing[0].since_ms <= fired_at);
+    assert!(sm.alerts_json().contains("\"state\":\"firing\""));
+
+    // Still violating: no new transition.
+    tick(30_000);
+    assert_eq!(sm.firing_alerts().len(), 1);
+
+    // Recovery: jump far enough that the lookback window holds only the
+    // healthy level. The intermediate empty window (no data at all) must
+    // keep the alert firing, not resolve it.
+    tick(600_000);
+    assert_eq!(
+        sm.firing_alerts().len(),
+        1,
+        "empty window resolved the alert"
+    );
+    queue.set(1);
+    tick(600_000);
+    tick(30_000);
+    assert_eq!(sm.firing_alerts().len(), 0, "alert failed to resolve");
+    assert!(sm.alerts_json().contains("\"state\":\"ok\""));
+
+    let d = tu_obs::global().snapshot().since(&base);
+    assert_eq!(d.counter("core.selfmon.alerts.fired"), Some(1));
+    assert_eq!(d.counter("core.selfmon.alerts.resolved"), Some(1));
+
+    // The recording rule materialized a derived series under its own name.
+    let t = clock.now_ms();
+    let derived = sm.query_range_json(&format!(
+        "metric=queue_avg&start={}&end={t}&step=60000&agg=max",
+        t - 3_600_000
+    ));
+    assert!(
+        derived.contains("\"metric\":\"queue_avg\"") && derived.contains("\"samples\":[["),
+        "recording rule produced no derived samples: {derived}"
+    );
+    assert!(sm.series_json().contains("queue_avg"));
+}
+
+fn raw_request(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    raw_request(addr, format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+}
+
+fn status_of(response: &str) -> u32 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+/// The served plane: a firing alert degrades `/healthz` without turning
+/// it 503, and `/query_range`, `/series`, `/labels`, `/alerts` answer
+/// over HTTP exactly what the self-monitor renders directly.
+#[test]
+fn http_endpoints_and_degraded_health() {
+    let _g = lock();
+    let dir = tempfile::tempdir().unwrap();
+    let clock = SimClock::new(30_000_000);
+    let mut o = opts();
+    o.clock = Arc::new(clock.clone());
+    o.serve_addr = Some("127.0.0.1:0".to_string());
+    o.selfmon = Some(SelfmonOptions {
+        rules: "alert always_on if count(core.ingest.samples) over 120s >= 0\n".to_string(),
+        ..SelfmonOptions::default()
+    });
+    let db = Arc::new(TimeUnion::open(dir.path(), o).unwrap());
+    let addr = db.serve_if_configured().unwrap().expect("serve_addr set");
+    let sm = db.selfmon().expect("self-monitoring plane");
+
+    let labels = Labels::from_pairs([("metric", "selfmon_http"), ("host", "h1")]);
+    db.put(&labels, 1, 1.0).unwrap();
+    // Two manual ticks so the seeded rule's lookback window (half-open)
+    // contains history — the background monitor also ticks concurrently,
+    // which must not disturb any of the assertions below.
+    for _ in 0..2 {
+        let t = clock.advance(60_000);
+        sm.record(t, &tu_obs::global().snapshot());
+    }
+
+    let report = db.health_report();
+    let check = report
+        .checks
+        .iter()
+        .find(|c| c.name == "alert:always_on")
+        .expect("firing alert missing from health report");
+    assert_eq!(check.health, Health::Degraded);
+    assert_eq!(report.status(), Health::Degraded);
+    assert!(report.healthy(), "a firing alert must degrade, not kill");
+
+    let healthz = get(addr, "/healthz");
+    assert_eq!(status_of(&healthz), 200, "degraded must still answer 200");
+    assert!(body_of(&healthz).contains("alert:always_on"));
+    assert!(body_of(&healthz).contains("\"status\":\"degraded\""));
+
+    let alerts = get(addr, "/alerts");
+    assert_eq!(status_of(&alerts), 200);
+    assert!(body_of(&alerts).contains("\"name\":\"always_on\""));
+    assert!(body_of(&alerts).contains("\"state\":\"firing\""));
+
+    // Explicit bounds exclude the live edge, so the HTTP answer must be
+    // byte-identical to the direct rendering even while the background
+    // monitor keeps ticking.
+    let end = clock.now_ms();
+    let query = format!(
+        "metric=core.ingest.samples&start={}&end={end}&step=60000&agg=max",
+        end - 600_000
+    );
+    let over_http = get(addr, &format!("/query_range?{query}"));
+    assert_eq!(status_of(&over_http), 200);
+    assert_eq!(body_of(&over_http), sm.query_range_json(&query));
+    assert!(body_of(&over_http).contains("\"metric\":\"core.ingest.samples\""));
+
+    let bad = get(addr, "/query_range?step=60000");
+    assert!(
+        body_of(&bad).contains("\"error\""),
+        "missing metric= must error: {bad}"
+    );
+
+    let series = get(addr, "/series");
+    assert_eq!(status_of(&series), 200);
+    assert!(body_of(&series).contains("core.ingest.samples"));
+    let labels_resp = get(addr, "/labels");
+    assert_eq!(status_of(&labels_resp), 200);
+    assert!(body_of(&labels_resp).contains("\"metric\":["));
+
+    db.stop_serving();
+    assert!(db.selfmon().is_none(), "stop_serving must drop the plane");
+}
